@@ -1,0 +1,238 @@
+package h2ds
+
+// testing.B twins of the paper's evaluation: one benchmark family per table
+// and figure (see DESIGN.md §3 for the index). The authoritative
+// regeneration path is `go run ./cmd/h2bench -exp <id>`; these benches give
+// `go test -bench` visibility into the same code paths at reduced problem
+// sizes, with memory reported via b.ReportMetric (KiB, deterministic
+// accounting) alongside the allocator view from -benchmem.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"h2ds/internal/core"
+	"h2ds/internal/hmatrix"
+	"h2ds/internal/kernel"
+	"h2ds/internal/pointset"
+	"h2ds/internal/sample"
+)
+
+const (
+	benchN   = 8000
+	benchTol = 1e-8
+)
+
+func benchVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func benchConfig(kind core.BasisKind, mode core.MemoryMode, tol float64) core.Config {
+	leaf := 100
+	if kind == core.Interpolation {
+		// Rank-sized leaves for the interpolation baseline (3-D): blocks
+		// below the tensor rank p^3 gain nothing from compression.
+		p := int(math.Ceil(-math.Log10(tol))) + 1
+		if rank := p * p * p; rank > leaf {
+			leaf = rank
+		}
+	}
+	return core.Config{Kind: kind, Mode: mode, Tol: tol, LeafSize: leaf}
+}
+
+// benchConstruct times Build for the workload.
+func benchConstruct(b *testing.B, pts *pointset.Points, k kernel.Kernel, cfg core.Config) {
+	b.Helper()
+	var mem float64
+	for i := 0; i < b.N; i++ {
+		m, err := core.Build(pts, k, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mem = m.Memory().KiB()
+	}
+	b.ReportMetric(mem, "KiB")
+}
+
+// benchMatVec builds once and times ApplyTo.
+func benchMatVec(b *testing.B, pts *pointset.Points, k kernel.Kernel, cfg core.Config) {
+	b.Helper()
+	m, err := core.Build(pts, k, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := benchVec(pts.Len(), 7)
+	y := make([]float64, pts.Len())
+	m.ApplyTo(y, x) // warm-up
+	b.ReportMetric(m.Memory().KiB(), "KiB")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ApplyTo(y, x)
+	}
+}
+
+// BenchmarkFig2Ranks regenerates the Fig 2 rank comparison: both
+// constructions at 1e-7 on the 10,000-point cube; rank totals are reported
+// as metrics.
+func BenchmarkFig2Ranks(b *testing.B) {
+	pts := pointset.Cube(10000, 3, 1)
+	for _, kind := range []core.BasisKind{core.DataDriven, core.Interpolation} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var maxRank, sumLeaf int
+			for i := 0; i < b.N; i++ {
+				m, err := core.Build(pts, kernel.Coulomb{}, benchConfig(kind, core.OnTheFly, 1e-7))
+				if err != nil {
+					b.Fatal(err)
+				}
+				maxRank = m.Stats().MaxRank
+				sumLeaf = m.Stats().SumLeafRank
+			}
+			b.ReportMetric(float64(maxRank), "maxrank")
+			b.ReportMetric(float64(sumLeaf), "leafranksum")
+		})
+	}
+}
+
+// BenchmarkFig4 covers the distribution study: construction and matvec for
+// cube/sphere/dino under both constructions, on-the-fly mode.
+func BenchmarkFig4(b *testing.B) {
+	for _, dist := range []string{"cube", "sphere", "dino"} {
+		pts, _ := pointset.Named(dist, benchN, 3, 1)
+		for _, kind := range []core.BasisKind{core.DataDriven, core.Interpolation} {
+			cfg := benchConfig(kind, core.OnTheFly, benchTol)
+			b.Run(fmt.Sprintf("construct/%s/%s", dist, kind), func(b *testing.B) {
+				benchConstruct(b, pts, kernel.Coulomb{}, cfg)
+			})
+			b.Run(fmt.Sprintf("matvec/%s/%s", dist, kind), func(b *testing.B) {
+				benchMatVec(b, pts, kernel.Coulomb{}, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkFig5 covers the dimension study (data-driven through d=5;
+// interpolation only where its p^d rank is feasible, as in the paper).
+func BenchmarkFig5(b *testing.B) {
+	for _, d := range []int{2, 3, 4, 5} {
+		pts := pointset.Cube(benchN, d, 1)
+		b.Run(fmt.Sprintf("matvec/d%d/data-driven", d), func(b *testing.B) {
+			benchMatVec(b, pts, kernel.Coulomb{}, benchConfig(core.DataDriven, core.OnTheFly, benchTol))
+		})
+		if d <= 3 {
+			b.Run(fmt.Sprintf("matvec/d%d/interpolation", d), func(b *testing.B) {
+				benchMatVec(b, pts, kernel.Coulomb{}, benchConfig(core.Interpolation, core.OnTheFly, benchTol))
+			})
+		}
+	}
+}
+
+// BenchmarkFig6 and BenchmarkTable1 cover the four basis x memory
+// combinations on the cube workload (Table I is the same grid at one large
+// n; h2bench runs the full size).
+func BenchmarkFig6(b *testing.B) {
+	pts := pointset.Cube(benchN, 3, 1)
+	for _, kind := range []core.BasisKind{core.Interpolation, core.DataDriven} {
+		for _, mode := range []core.MemoryMode{core.Normal, core.OnTheFly} {
+			cfg := benchConfig(kind, mode, benchTol)
+			b.Run(fmt.Sprintf("construct/%s/%s", kind, mode), func(b *testing.B) {
+				benchConstruct(b, pts, kernel.Coulomb{}, cfg)
+			})
+			b.Run(fmt.Sprintf("matvec/%s/%s", kind, mode), func(b *testing.B) {
+				benchMatVec(b, pts, kernel.Coulomb{}, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkTable1 is the Table I grid at the bench problem size.
+func BenchmarkTable1(b *testing.B) {
+	pts := pointset.Cube(benchN, 3, 1)
+	for _, kind := range []core.BasisKind{core.Interpolation, core.DataDriven} {
+		for _, mode := range []core.MemoryMode{core.Normal, core.OnTheFly} {
+			b.Run(fmt.Sprintf("%s/%s", kind, mode), func(b *testing.B) {
+				benchMatVec(b, pts, kernel.Coulomb{}, benchConfig(kind, mode, benchTol))
+			})
+		}
+	}
+}
+
+// BenchmarkFig7 covers thread scaling of the matvec (hardware-limited on a
+// single-core host; the worker parameter still exercises the scheduling).
+func BenchmarkFig7(b *testing.B) {
+	pts := pointset.Cube(benchN, 3, 1)
+	for _, threads := range []int{1, 2, 4, 8} {
+		cfg := benchConfig(core.DataDriven, core.OnTheFly, benchTol)
+		cfg.Workers = threads
+		b.Run(fmt.Sprintf("matvec/threads%d", threads), func(b *testing.B) {
+			benchMatVec(b, pts, kernel.Coulomb{}, cfg)
+		})
+	}
+}
+
+// BenchmarkFig8 covers the accuracy sweep.
+func BenchmarkFig8(b *testing.B) {
+	pts := pointset.Cube(benchN, 3, 1)
+	for _, tol := range []float64{1e-2, 1e-4, 1e-6, 1e-8} {
+		for _, kind := range []core.BasisKind{core.DataDriven, core.Interpolation} {
+			b.Run(fmt.Sprintf("matvec/tol%.0e/%s", tol, kind), func(b *testing.B) {
+				benchMatVec(b, pts, kernel.Coulomb{}, benchConfig(kind, core.OnTheFly, tol))
+			})
+		}
+	}
+}
+
+// BenchmarkFig9 covers kernel generality (data-driven; interpolation's
+// kernel independence is already exercised by Fig 4/6/8).
+func BenchmarkFig9(b *testing.B) {
+	pts := pointset.Cube(benchN, 3, 1)
+	for _, kname := range []string{"coulomb", "coulomb3", "exp", "gaussian"} {
+		k, _ := kernel.Named(kname)
+		b.Run("matvec/"+kname, func(b *testing.B) {
+			benchMatVec(b, pts, k, benchConfig(core.DataDriven, core.OnTheFly, benchTol))
+		})
+	}
+}
+
+// BenchmarkAblationSampler compares the three samplers inside the
+// data-driven construction.
+func BenchmarkAblationSampler(b *testing.B) {
+	pts := pointset.Cube(benchN, 3, 1)
+	for _, sname := range []string{"anchornet", "fps", "random"} {
+		s, _ := sample.Named(sname)
+		cfg := benchConfig(core.DataDriven, core.OnTheFly, 1e-6)
+		cfg.Sampler = s
+		b.Run("construct/"+sname, func(b *testing.B) {
+			benchConstruct(b, pts, kernel.Coulomb{}, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationFormat compares the nested H² format against the
+// non-nested H baseline at equal tolerance.
+func BenchmarkAblationFormat(b *testing.B) {
+	pts := pointset.Cube(benchN, 3, 1)
+	b.Run("matvec/h2", func(b *testing.B) {
+		benchMatVec(b, pts, kernel.Coulomb{}, benchConfig(core.DataDriven, core.Normal, 1e-6))
+	})
+	b.Run("matvec/h", func(b *testing.B) {
+		m, err := hmatrix.Build(pts, kernel.Coulomb{}, hmatrix.Config{Tol: 1e-6, LeafSize: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		x := benchVec(benchN, 7)
+		y := make([]float64, benchN)
+		m.ApplyTo(y, x)
+		b.ReportMetric(float64(m.Bytes())/1024, "KiB")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.ApplyTo(y, x)
+		}
+	})
+}

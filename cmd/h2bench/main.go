@@ -1,0 +1,49 @@
+// Command h2bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	h2bench -exp fig4                 # one experiment
+//	h2bench -exp all -scale small     # the full evaluation, laptop scale
+//	h2bench -exp table1 -scale paper  # the paper's problem sizes
+//
+// Experiments: fig2, fig4, fig5, fig6, table1, fig7, fig8, fig9, ablation.
+// Output is a plain-text report with one aligned table per panel; see
+// EXPERIMENTS.md for how each maps onto the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"h2ds/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id: "+strings.Join(bench.Experiments(), ", ")+", or all")
+	scale := flag.String("scale", "small", "sweep scale: small, medium, paper")
+	threads := flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
+	sampler := flag.String("sampler", "anchornet", "data-driven sampler: anchornet, fps, random")
+	seed := flag.Int64("seed", 1, "workload seed")
+	reps := flag.Int("reps", 3, "matvec repetitions per timing")
+	flag.Parse()
+
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "h2bench: -exp is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	opt := bench.Options{
+		Scale:      *scale,
+		Threads:    *threads,
+		Sampler:    *sampler,
+		Seed:       *seed,
+		MatVecReps: *reps,
+		Out:        os.Stdout,
+	}
+	if err := bench.Run(*exp, opt); err != nil {
+		fmt.Fprintf(os.Stderr, "h2bench: %v\n", err)
+		os.Exit(1)
+	}
+}

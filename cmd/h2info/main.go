@@ -1,0 +1,100 @@
+// Command h2info builds one H² configuration and prints its construction
+// summary: tree shape, per-component memory, rank profile, timings, and the
+// 12-row error estimate. Useful for tuning LeafSize / Tol / SampleBudget on
+// a new workload.
+//
+// Usage:
+//
+//	h2info -n 40000 -dist cube -kernel coulomb -tol 1e-8 -basis dd -mem otf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"h2ds/internal/core"
+	"h2ds/internal/kernel"
+	"h2ds/internal/pointset"
+	"h2ds/internal/sample"
+)
+
+func main() {
+	n := flag.Int("n", 20000, "number of points")
+	dim := flag.Int("dim", 3, "dimension (cube distribution only)")
+	dist := flag.String("dist", "cube", "distribution: cube, sphere, dino, ball, mixture")
+	kern := flag.String("kernel", "coulomb", "kernel: coulomb, coulomb3, exp, gaussian, matern32, matern52, imq, thinplate")
+	tol := flag.Float64("tol", 1e-8, "target relative accuracy")
+	basis := flag.String("basis", "dd", "construction: dd (data-driven) or interp")
+	mem := flag.String("mem", "otf", "memory mode: normal or otf")
+	leaf := flag.Int("leaf", 0, "leaf size (0 = default)")
+	eta := flag.Float64("eta", 0, "admissibility parameter (0 = 0.7)")
+	threads := flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
+	samplerName := flag.String("sampler", "anchornet", "sampler: anchornet, fps, random")
+	budget := flag.Int("budget", 0, "sample budget per node (0 = derived)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	pts, ok := pointset.Named(*dist, *n, *dim, *seed)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "h2info: unknown distribution %q\n", *dist)
+		os.Exit(2)
+	}
+	k, ok := kernel.Named(*kern)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "h2info: unknown kernel %q\n", *kern)
+		os.Exit(2)
+	}
+	s, ok := sample.Named(*samplerName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "h2info: unknown sampler %q\n", *samplerName)
+		os.Exit(2)
+	}
+	cfg := core.Config{
+		Tol: *tol, LeafSize: *leaf, Eta: *eta, Workers: *threads,
+		Sampler: s, SampleBudget: *budget,
+	}
+	switch *basis {
+	case "dd":
+		cfg.Kind = core.DataDriven
+	case "interp":
+		cfg.Kind = core.Interpolation
+	default:
+		fmt.Fprintf(os.Stderr, "h2info: unknown basis %q\n", *basis)
+		os.Exit(2)
+	}
+	switch *mem {
+	case "normal":
+		cfg.Mode = core.Normal
+	case "otf":
+		cfg.Mode = core.OnTheFly
+	default:
+		fmt.Fprintf(os.Stderr, "h2info: unknown memory mode %q\n", *mem)
+		os.Exit(2)
+	}
+
+	m, err := core.Build(pts, k, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "h2info: %v\n", err)
+		os.Exit(1)
+	}
+	st := m.Stats()
+	fmt.Printf("h2ds matrix: n=%d dim=%d dist=%s kernel=%s basis=%v memory=%v tol=%.0e\n",
+		*n, pts.Dim, *dist, k.Name(), cfg.Kind, cfg.Mode, *tol)
+	fmt.Printf("tree: %d nodes, %d leaves, depth %d\n", st.Nodes, st.Leaves, st.Depth)
+	fmt.Printf("blocks: %d coupling, %d nearfield\n", st.InteractionBlocks, st.NearBlocks)
+	fmt.Printf("ranks: max %d, leaf total %d (avg %.1f)\n",
+		st.MaxRank, st.SumLeafRank, float64(st.SumLeafRank)/float64(st.Leaves))
+	fmt.Printf("build: total %v (tree %v, sampling %v, basis %v, coupling %v)\n",
+		st.Total, st.TreeTime, st.SampleTime, st.BasisTime, st.CouplingTime)
+	fmt.Printf("memory: %v\n", m.Memory())
+
+	rng := rand.New(rand.NewSource(*seed + 7))
+	b := make([]float64, *n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	fmt.Printf("relative error (12 sampled rows): %.3e\n",
+		m.EstimateRelError(b, core.DefaultErrorRows, *seed+13))
+}

@@ -1,0 +1,14 @@
+// Package h2ds is a from-scratch Go reproduction of "Accelerating Parallel
+// Hierarchical Matrix-Vector Products via Data-Driven Sampling" (Erlandson,
+// Cai, Xi, Chow — IPDPS 2020): H² hierarchical kernel matrices with nested
+// bases built by hierarchical anchor-net sampling + interpolative
+// decomposition, a tensor-grid Chebyshev interpolation baseline, and an
+// on-the-fly memory mode that regenerates coupling and nearfield blocks
+// from indices at matvec time.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map); runnable entry points are cmd/h2bench (regenerates every table and
+// figure of the paper's evaluation), cmd/h2info (one-configuration
+// inspector), and the programs under examples/. The benchmarks in
+// bench_test.go are testing.B twins of the harness experiments.
+package h2ds

@@ -1,0 +1,3 @@
+module h2ds
+
+go 1.22

@@ -1,0 +1,232 @@
+// Package bench is the experiment harness: one runner per table and figure
+// of the paper's evaluation section (Figs 2, 4–9 and Table I), each printing
+// the same rows/series the paper reports — construction time, matvec time,
+// deterministic memory, and the 12-row relative-error estimate.
+//
+// Absolute numbers differ from the paper (different hardware, pure Go), but
+// the shapes — who wins, by what factor, where the curves cross — are the
+// reproduction target. See EXPERIMENTS.md for recorded runs.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"h2ds/internal/core"
+	"h2ds/internal/kernel"
+	"h2ds/internal/pointset"
+	"h2ds/internal/sample"
+)
+
+// Options configures a harness run.
+type Options struct {
+	// Scale selects sweep sizes: "small" (default, minutes on a laptop
+	// core), "medium", or "paper" (the paper's problem sizes; hours).
+	Scale string
+	// Threads is the worker count (0 = GOMAXPROCS).
+	Threads int
+	// Sampler names the data-driven sampler ("anchornet" default, "fps",
+	// "random") — the sampler ablation.
+	Sampler string
+	// Seed drives point generation and the error estimator.
+	Seed int64
+	// MatVecReps averages the matvec timing over this many products
+	// (0 = 3).
+	MatVecReps int
+	// Out receives the report (nil = io.Discard).
+	Out io.Writer
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+func (o Options) reps() int {
+	if o.MatVecReps <= 0 {
+		return 3
+	}
+	return o.MatVecReps
+}
+
+func (o Options) sampler() sample.Sampler {
+	s, ok := sample.Named(o.Sampler)
+	if !ok {
+		return sample.AnchorNet{}
+	}
+	return s
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Experiments lists the runnable experiment ids in paper order.
+func Experiments() []string {
+	return []string{"fig2", "fig4", "fig5", "fig6", "table1", "fig7", "fig8", "fig9", "ablation"}
+}
+
+// Run executes one experiment ("fig2", ..., "table1", "ablation") or "all".
+func Run(exp string, opt Options) error {
+	switch exp {
+	case "fig2":
+		return Fig2(opt)
+	case "fig4":
+		return Fig4(opt)
+	case "fig5":
+		return Fig5(opt)
+	case "fig6":
+		return Fig6(opt)
+	case "table1":
+		return Table1(opt)
+	case "fig7":
+		return Fig7(opt)
+	case "fig8":
+		return Fig8(opt)
+	case "fig9":
+		return Fig9(opt)
+	case "ablation":
+		return Ablation(opt)
+	case "all":
+		for _, e := range Experiments() {
+			if err := Run(e, opt); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("bench: unknown experiment %q (have %s, all)", exp, strings.Join(Experiments(), ", "))
+	}
+}
+
+// Result is one measured configuration — one row of a table or one point of
+// a figure series.
+type Result struct {
+	N          int
+	Dim        int
+	Dist       string
+	Kernel     string
+	Kind       core.BasisKind
+	Mode       core.MemoryMode
+	Tol        float64
+	Threads    int
+	TConstMS   float64
+	TMatVecMS  float64
+	MemKiB     float64
+	RelErr     float64
+	MaxRank    int
+	AvgLeafRnk float64
+}
+
+// Measure builds the H² matrix for the given workload and measures
+// construction time, averaged matvec time, deterministic memory, and the
+// paper's 12-row error estimate.
+func Measure(pts *pointset.Points, k kernel.Kernel, cfg core.Config, opt Options) (Result, error) {
+	t0 := time.Now()
+	m, err := core.Build(pts, k, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	tconst := time.Since(t0)
+
+	b := randVec(pts.Len(), opt.seed()+7)
+	// Warm-up product (page in generators) then timed repetitions.
+	y := m.Apply(b)
+	reps := opt.reps()
+	t1 := time.Now()
+	for r := 0; r < reps; r++ {
+		m.ApplyTo(y, b)
+	}
+	tmv := time.Since(t1) / time.Duration(reps)
+
+	mem := m.Memory()
+	st := m.Stats()
+	res := Result{
+		N: pts.Len(), Dim: pts.Dim,
+		Kernel: k.Name(), Kind: cfg.Kind, Mode: cfg.Mode, Tol: cfg.Tol,
+		Threads:   cfg.Workers,
+		TConstMS:  float64(tconst.Microseconds()) / 1000,
+		TMatVecMS: float64(tmv.Microseconds()) / 1000,
+		MemKiB:    mem.KiB(),
+		RelErr:    m.RelErrorVs(b, y, core.DefaultErrorRows, opt.seed()+13),
+		MaxRank:   st.MaxRank,
+	}
+	if st.Leaves > 0 {
+		res.AvgLeafRnk = float64(st.SumLeafRank) / float64(st.Leaves)
+	}
+	return res, nil
+}
+
+func randVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// table manages aligned report output.
+type table struct {
+	w *tabwriter.Writer
+}
+
+func newTable(out io.Writer, title string, cols ...string) *table {
+	fmt.Fprintf(out, "\n## %s\n", title)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(cols, "\t"))
+	return &table{w: w}
+}
+
+func (t *table) row(cells ...string) { fmt.Fprintln(t.w, strings.Join(cells, "\t")) }
+
+func (t *table) flush() { t.w.Flush() }
+
+// rowFor renders the standard measurement columns.
+func rowFor(r Result) []string {
+	return []string{
+		fmt.Sprintf("%d", r.N),
+		r.Kind.String(),
+		r.Mode.String(),
+		fmt.Sprintf("%.1f", r.TConstMS),
+		fmt.Sprintf("%.2f", r.TMatVecMS),
+		fmt.Sprintf("%.1f", r.MemKiB),
+		fmt.Sprintf("%.2e", r.RelErr),
+		fmt.Sprintf("%d", r.MaxRank),
+	}
+}
+
+var stdCols = []string{"n", "basis", "memory", "T_const_ms", "T_mv_ms", "mem_KiB", "relerr", "maxrank"}
+
+// leafSizeFor picks a leaf capacity appropriate to the construction: the
+// interpolation baseline wants leaves no smaller than its p^d rank
+// neighborhood, while the data-driven method prefers smaller leaves. Both
+// follow the paper's "order of hundreds" guidance, adapted to problem size
+// so small sweeps still produce farfield blocks.
+func leafSizeFor(n int) int {
+	switch {
+	case n <= 2000:
+		return 50
+	case n <= 20000:
+		return 100
+	default:
+		return 200
+	}
+}
+
+// medianInt returns the median of a non-empty int slice (copied, sorted).
+func medianInt(xs []int) int {
+	c := append([]int(nil), xs...)
+	sort.Ints(c)
+	return c[len(c)/2]
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"sync"
+
+	"h2ds/internal/mat"
+)
+
+// blockKey identifies a stored coupling or nearfield block by its node-id
+// pair. Only keys with I <= J are stored (symmetric kernel); the transposed
+// block is applied on the fly.
+type blockKey struct{ I, J int }
+
+// BlockStore is the paper's coupling-block container (§III-A): a sparse
+// integer index ("the value of the element at (i,j) providing the linear
+// index into a vector of dense matrices") plus the dense block slab. The
+// matrix-free Apply interface means callers are oblivious to whether blocks
+// were stored at construction (normal mode) or are absent (on-the-fly mode
+// bypasses the store entirely).
+type BlockStore struct {
+	mu       sync.Mutex
+	index    map[blockKey]int32
+	blocks   []*mat.Dense
+	directed bool
+}
+
+// NewBlockStore returns an empty triangular store for symmetric kernels:
+// only pairs with i <= j may be stored and the (j, i) block is applied as
+// the transpose.
+func NewBlockStore() *BlockStore {
+	return &BlockStore{index: make(map[blockKey]int32)}
+}
+
+// NewDirectedBlockStore returns an empty store for unsymmetric kernels:
+// every directed pair is stored and applied verbatim.
+func NewDirectedBlockStore() *BlockStore {
+	return &BlockStore{index: make(map[blockKey]int32), directed: true}
+}
+
+// Put stores block b for the node pair (i, j); in triangular mode i <= j is
+// required. It is safe for concurrent use during parallel construction.
+func (s *BlockStore) Put(i, j int, b *mat.Dense) {
+	if !s.directed && i > j {
+		panic("core: BlockStore.Put requires i <= j (symmetric storage)")
+	}
+	s.mu.Lock()
+	s.index[blockKey{i, j}] = int32(len(s.blocks))
+	s.blocks = append(s.blocks, b)
+	s.mu.Unlock()
+}
+
+// Get returns the block stored for exactly (i, j), or nil.
+func (s *BlockStore) Get(i, j int) *mat.Dense {
+	k, ok := s.index[blockKey{i, j}]
+	if !ok {
+		return nil
+	}
+	return s.blocks[k]
+}
+
+// Apply accumulates g += B_{i,j} q. In triangular mode the (j, i) block is
+// applied transposed when i > j; in directed mode only exact keys hit. It
+// reports whether a block was found.
+func (s *BlockStore) Apply(g []float64, i, j int, q []float64) bool {
+	if s.directed || i <= j {
+		b := s.Get(i, j)
+		if b == nil {
+			return false
+		}
+		mat.MulVecAdd(g, b, q)
+		return true
+	}
+	b := s.Get(j, i)
+	if b == nil {
+		return false
+	}
+	mat.MulTVecAdd(g, b, q)
+	return true
+}
+
+// Len returns the number of stored blocks.
+func (s *BlockStore) Len() int { return len(s.blocks) }
+
+// Bytes returns the memory footprint: dense payloads plus index entries
+// (key, value, and map bucket overhead estimated at 8 bytes per entry).
+func (s *BlockStore) Bytes() int64 {
+	var b int64
+	for _, blk := range s.blocks {
+		b += int64(len(blk.Data))*8 + 24
+	}
+	b += int64(len(s.index)) * (16 + 4 + 8)
+	return b
+}
+
+// MaxBlockBytes returns the size of the largest stored block, the quantity
+// that bounds per-worker scratch in on-the-fly mode.
+func (s *BlockStore) MaxBlockBytes() int64 {
+	var m int64
+	for _, blk := range s.blocks {
+		if b := int64(len(blk.Data)) * 8; b > m {
+			m = b
+		}
+	}
+	return m
+}

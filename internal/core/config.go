@@ -1,0 +1,164 @@
+// Package core implements the paper's primary contribution: H² hierarchical
+// matrices with nested bases, built either by the new data-driven sampling
+// method (hierarchical anchor-net Nyström + interpolative decomposition,
+// §II-A) or by the tensor-grid Chebyshev interpolation baseline (§I-B2),
+// applied to vectors with the five-sweep parallel matvec of Algorithm 2 in
+// either the normal memory mode (all coupling/nearfield blocks stored) or
+// the on-the-fly mode (blocks regenerated from indices at application time,
+// §II-B).
+//
+// Any kernel.Pairwise kernel is accepted. Symmetric kernels (all radial
+// kernels in internal/kernel) share row and column bases (V = U, W = R)
+// and store one coupling triangle; unsymmetric kernels get the paper's
+// general formulation with separate column-side generators and directed
+// coupling storage.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"h2ds/internal/interp"
+	"h2ds/internal/sample"
+	"h2ds/internal/tree"
+)
+
+// BasisKind selects the construction method.
+type BasisKind int
+
+const (
+	// DataDriven is the paper's new method: hierarchical sampling followed
+	// by per-node interpolative decompositions of kernel submatrices.
+	DataDriven BasisKind = iota
+	// Interpolation is the tensor-grid Chebyshev baseline.
+	Interpolation
+)
+
+// String implements fmt.Stringer.
+func (k BasisKind) String() string {
+	switch k {
+	case DataDriven:
+		return "data-driven"
+	case Interpolation:
+		return "interpolation"
+	default:
+		return fmt.Sprintf("BasisKind(%d)", int(k))
+	}
+}
+
+// MemoryMode selects how coupling and nearfield blocks are handled.
+type MemoryMode int
+
+const (
+	// Normal stores every coupling and nearfield block at construction
+	// time (the conventional hierarchical-matrix approach).
+	Normal MemoryMode = iota
+	// OnTheFly stores only index sets; blocks are assembled into
+	// per-worker scratch during each matvec and discarded (§II-B).
+	OnTheFly
+)
+
+// String implements fmt.Stringer.
+func (m MemoryMode) String() string {
+	switch m {
+	case Normal:
+		return "normal"
+	case OnTheFly:
+		return "on-the-fly"
+	default:
+		return fmt.Sprintf("MemoryMode(%d)", int(m))
+	}
+}
+
+// Config selects and tunes a construction. The zero value requests a
+// data-driven, normal-memory build at the default tolerance.
+type Config struct {
+	Kind BasisKind
+	Mode MemoryMode
+
+	// Tol is the target relative accuracy (default 1e-8, the paper's
+	// standard setting). For the data-driven method it is the ID truncation
+	// tolerance; for interpolation it calibrates the grid size.
+	Tol float64
+
+	// SampleBudget is the per-node sample size m for the data-driven
+	// method; 0 derives it from Tol and the dimension.
+	SampleBudget int
+
+	// P is the interpolation points per direction; 0 derives it from Tol.
+	P int
+
+	// LeafSize caps points per leaf (0 = tree.DefaultLeafSize).
+	LeafSize int
+
+	// Eta is the admissibility parameter (0 = tree.DefaultEta, the paper's
+	// 0.7).
+	Eta float64
+
+	// Workers bounds parallelism for construction and matvec
+	// (0 = GOMAXPROCS).
+	Workers int
+
+	// Sampler picks the point sampler for the data-driven method
+	// (nil = sample.AnchorNet).
+	Sampler sample.Sampler
+
+	// MaxRank caps per-node ID ranks for the data-driven method (0 = no
+	// cap beyond SampleBudget).
+	MaxRank int
+
+	// ReuseTree, when non-nil, skips tree construction and uses this tree
+	// (which must have been built over the same point set). Combined with
+	// ReuseHierarchy it implements the paper's sampling amortization
+	// (§VI-A): the hierarchical sampling depends only on the points, so one
+	// sweep serves any number of kernels.
+	ReuseTree *tree.Tree
+
+	// ReuseHierarchy, when non-nil, skips the Algorithm 1 sweeps for the
+	// data-driven construction and uses these sample sets (which must have
+	// been produced on ReuseTree).
+	ReuseHierarchy *sample.Hierarchy
+}
+
+// withDefaults returns cfg with zero fields resolved.
+func (cfg Config) withDefaults(dim int) Config {
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-8
+	}
+	if cfg.LeafSize <= 0 {
+		cfg.LeafSize = tree.DefaultLeafSize
+	}
+	if cfg.Eta <= 0 {
+		cfg.Eta = tree.DefaultEta
+	}
+	if cfg.Sampler == nil {
+		cfg.Sampler = sample.AnchorNet{}
+	}
+	if cfg.P <= 0 {
+		cfg.P = interp.PFromTol(cfg.Tol)
+	}
+	if cfg.SampleBudget <= 0 {
+		cfg.SampleBudget = DefaultSampleBudget(cfg.Tol, dim)
+	}
+	return cfg
+}
+
+// DefaultSampleBudget returns the per-node sample size m used when the
+// caller does not set one: it grows with the requested accuracy (more
+// digits need larger surrogate farfields) and mildly with the dimension.
+// The calibration sweep behind these constants is recorded in
+// EXPERIMENTS.md.
+func DefaultSampleBudget(tol float64, dim int) int {
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	digits := -math.Log10(tol)
+	if digits < 1 {
+		digits = 1
+	}
+	m := 16 + 14*digits
+	if dim > 3 {
+		m *= 1 + 0.4*float64(dim-3)
+	}
+	return int(math.Ceil(m))
+}

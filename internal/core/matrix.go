@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"h2ds/internal/kernel"
+	"h2ds/internal/mat"
+	"h2ds/internal/pointset"
+	"h2ds/internal/sample"
+	"h2ds/internal/tree"
+)
+
+// Matrix is an H² approximation of the kernel matrix A = [K(x_i, x_j)] over
+// a point set. It is produced by Build and applied to vectors with Apply.
+type Matrix struct {
+	Cfg  Config
+	Kern kernel.Pairwise
+	Tree *tree.Tree
+	N    int
+	Dim  int
+
+	// Per-node row-side generators. For leaves, u[i] holds the basis U_i
+	// (|X_i| x rank); for internal nodes, trans[i] stacks the children
+	// transfer blocks R_c ((Σ_c rank_c) x rank) in child order. ranks[i]
+	// is the node's row basis rank.
+	u     []*mat.Dense
+	trans []*mat.Dense
+	ranks []int
+
+	// Column-side generators (the paper's V and W). They are populated
+	// only for unsymmetric kernels under the data-driven construction;
+	// otherwise sharedBasis is true and the row-side generators serve both
+	// roles (V = U, W = R).
+	v           []*mat.Dense
+	wTrans      []*mat.Dense
+	colRanks    []int
+	colSkel     [][]int
+	sharedBasis bool
+
+	// Skeletons: block B_{i,j} is the kernel evaluated between the row
+	// skeleton of i and the column skeleton of j. For the data-driven
+	// method skelPts[i] aliases Tree.Points and skel[i] holds selected
+	// (permuted) point indices; for interpolation skelPts[i] holds the
+	// node's Chebyshev grid and skel[i] is the full index range.
+	skel    [][]int
+	skelPts []*pointset.Points
+
+	// hier retains the sampling output for diagnostics (data-driven only).
+	hier *sample.Hierarchy
+
+	// Stored blocks (normal mode); nil in on-the-fly mode.
+	coup *BlockStore
+	near *BlockStore
+
+	// allIdx is the shared identity index [0, n) into the permuted points;
+	// leaf ranges are subslices.
+	allIdx []int
+
+	stats BuildStats
+}
+
+// BuildStats records construction timings and counters for the bench
+// harness (the paper's T_const breakdown).
+type BuildStats struct {
+	TreeTime     time.Duration
+	SampleTime   time.Duration
+	BasisTime    time.Duration
+	CouplingTime time.Duration
+	Total        time.Duration
+
+	Nodes, Leaves, Depth int
+	InteractionBlocks    int // undirected coupling blocks represented
+	NearBlocks           int // undirected nearfield blocks represented
+	MaxRank              int
+	SumLeafRank          int
+}
+
+// Build constructs an H² representation of the kernel matrix over pts.
+// pts is copied; the caller's slice is not retained. Any Pairwise kernel is
+// accepted; unsymmetric kernels get separate row and column bases (the
+// paper's general U/V, R/W formulation) under the data-driven construction,
+// while interpolation shares its kernel-independent polynomial bases.
+func Build(pts *pointset.Points, k kernel.Pairwise, cfg Config) (*Matrix, error) {
+	if pts.Len() == 0 {
+		return nil, fmt.Errorf("core: empty point set")
+	}
+	cfg = cfg.withDefaults(pts.Dim)
+	start := time.Now()
+
+	m := &Matrix{Cfg: cfg, Kern: k, N: pts.Len(), Dim: pts.Dim}
+
+	t0 := time.Now()
+	if cfg.ReuseTree != nil {
+		if cfg.ReuseTree.Points.Len() != pts.Len() || cfg.ReuseTree.Points.Dim != pts.Dim {
+			return nil, fmt.Errorf("core: ReuseTree shape %dx%d does not match points %dx%d",
+				cfg.ReuseTree.Points.Len(), cfg.ReuseTree.Points.Dim, pts.Len(), pts.Dim)
+		}
+		m.Tree = cfg.ReuseTree
+	} else {
+		m.Tree = tree.New(pts, tree.Config{LeafSize: cfg.LeafSize, Eta: cfg.Eta, Workers: cfg.Workers})
+	}
+	m.stats.TreeTime = time.Since(t0)
+
+	nNodes := len(m.Tree.Nodes)
+	m.u = make([]*mat.Dense, nNodes)
+	m.trans = make([]*mat.Dense, nNodes)
+	m.ranks = make([]int, nNodes)
+	m.skel = make([][]int, nNodes)
+	m.skelPts = make([]*pointset.Points, nNodes)
+	m.sharedBasis = k.Symmetric() || cfg.Kind == Interpolation
+	if !m.sharedBasis {
+		m.v = make([]*mat.Dense, nNodes)
+		m.wTrans = make([]*mat.Dense, nNodes)
+		m.colRanks = make([]int, nNodes)
+		m.colSkel = make([][]int, nNodes)
+	}
+	m.allIdx = make([]int, m.N)
+	for i := range m.allIdx {
+		m.allIdx[i] = i
+	}
+
+	switch cfg.Kind {
+	case DataDriven:
+		m.buildDataDriven()
+	case Interpolation:
+		m.buildInterpolation()
+	default:
+		return nil, fmt.Errorf("core: unknown basis kind %v", cfg.Kind)
+	}
+
+	if cfg.Mode == Normal {
+		t2 := time.Now()
+		m.storeBlocks()
+		m.stats.CouplingTime = time.Since(t2)
+	}
+
+	m.finishStats()
+	m.stats.Total = time.Since(start)
+	return m, nil
+}
+
+// finishStats fills the structural counters after construction.
+func (m *Matrix) finishStats() {
+	ts := m.Tree.ComputeStats()
+	m.stats.Nodes = ts.Nodes
+	m.stats.Leaves = ts.Leaves
+	m.stats.Depth = ts.Depth
+	m.stats.InteractionBlocks = ts.InteractionPairs / 2
+	// NearPairs counts directed pairs including self; undirected count is
+	// self pairs + (others)/2.
+	self := ts.Leaves
+	m.stats.NearBlocks = self + (ts.NearPairs-self)/2
+	for i := range m.Tree.Nodes {
+		if m.ranks[i] > m.stats.MaxRank {
+			m.stats.MaxRank = m.ranks[i]
+		}
+		if m.Tree.Nodes[i].IsLeaf {
+			m.stats.SumLeafRank += m.ranks[i]
+		}
+	}
+}
+
+// Stats returns the construction statistics.
+func (m *Matrix) Stats() BuildStats { return m.stats }
+
+// NodeRanks returns a copy of the per-node basis ranks (indexed by tree
+// node id); the Fig 2 rank-comparison experiment reads these.
+func (m *Matrix) NodeRanks() []int { return append([]int(nil), m.ranks...) }
+
+// Rank returns the rank of node id's basis.
+func (m *Matrix) Rank(id int) int { return m.ranks[id] }
+
+// Skeleton returns the skeleton index set of node id (data-driven: permuted
+// point indices; interpolation: grid indices).
+func (m *Matrix) Skeleton(id int) []int { return m.skel[id] }
+
+// Hierarchy returns the data-driven sampling output (nil for interpolation
+// builds). Pass it, together with Tree, through Config.ReuseHierarchy /
+// Config.ReuseTree to amortize the kernel-independent sampling across
+// builds for different kernels on the same points (paper §VI-A).
+func (m *Matrix) Hierarchy() *sample.Hierarchy { return m.hier }
+
+// colRank returns node id's column basis rank (the row rank when bases are
+// shared).
+func (m *Matrix) colRank(id int) int {
+	if m.sharedBasis {
+		return m.ranks[id]
+	}
+	return m.colRanks[id]
+}
+
+// colSkeleton returns node id's column skeleton.
+func (m *Matrix) colSkeleton(id int) []int {
+	if m.sharedBasis {
+		return m.skel[id]
+	}
+	return m.colSkel[id]
+}
+
+// colBasis returns node id's leaf column basis (V_i).
+func (m *Matrix) colBasis(id int) *mat.Dense {
+	if m.sharedBasis {
+		return m.u[id]
+	}
+	return m.v[id]
+}
+
+// colTrans returns node id's stacked column transfer blocks (W).
+func (m *Matrix) colTrans(id int) *mat.Dense {
+	if m.sharedBasis {
+		return m.trans[id]
+	}
+	return m.wTrans[id]
+}
+
+// storeBlocks assembles and stores every coupling block (one triangle for
+// symmetric kernels, every directed pair otherwise) and every nearfield
+// block — the normal memory mode. Assembly is parallel over blocks.
+func (m *Matrix) storeBlocks() {
+	sym := m.Kern.Symmetric()
+	if sym {
+		m.coup = NewBlockStore()
+		m.near = NewBlockStore()
+	} else {
+		m.coup = NewDirectedBlockStore()
+		m.near = NewDirectedBlockStore()
+	}
+
+	type pair struct{ i, j int }
+	var coupPairs []pair
+	for i := range m.Tree.Nodes {
+		for _, j := range m.Tree.Nodes[i].Interaction {
+			if !sym || i < j {
+				coupPairs = append(coupPairs, pair{i, j})
+			}
+		}
+	}
+	var nearPairs []pair
+	for _, i := range m.Tree.Leaves {
+		for _, j := range m.Tree.Nodes[i].Near {
+			if !sym || i <= j {
+				nearPairs = append(nearPairs, pair{i, j})
+			}
+		}
+	}
+
+	parForCfg(m.Cfg.Workers, len(coupPairs), func(k int) {
+		p := coupPairs[k]
+		if m.ranks[p.i] == 0 || m.colRank(p.j) == 0 {
+			return
+		}
+		b := kernel.NewBlock(m.Kern, m.skelPts[p.i], m.skel[p.i], m.skelPts[p.j], m.colSkeleton(p.j))
+		m.coup.Put(p.i, p.j, b)
+	})
+	parForCfg(m.Cfg.Workers, len(nearPairs), func(k int) {
+		p := nearPairs[k]
+		ni, nj := &m.Tree.Nodes[p.i], &m.Tree.Nodes[p.j]
+		b := kernel.NewBlock(m.Kern, m.Tree.Points, m.allIdx[ni.Start:ni.End], m.Tree.Points, m.allIdx[nj.Start:nj.End])
+		m.near.Put(p.i, p.j, b)
+	})
+}
+
+// leafRange returns the permuted index slice owned by node id.
+func (m *Matrix) leafRange(id int) []int {
+	nd := &m.Tree.Nodes[id]
+	return m.allIdx[nd.Start:nd.End]
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"h2ds/internal/kernel"
+	"h2ds/internal/mat"
+	"h2ds/internal/pointset"
+)
+
+func TestApplyTransposeSymmetricEqualsApply(t *testing.T) {
+	pts := pointset.Cube(1500, 3, 110)
+	b := randVec(1500, 111)
+	for _, mode := range []MemoryMode{Normal, OnTheFly} {
+		m, err := Build(pts, kernel.Coulomb{}, Config{Kind: DataDriven, Mode: mode, Tol: 1e-6, LeafSize: 70})
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := m.Apply(b)
+		yt := m.ApplyTranspose(b)
+		for i := range y {
+			if math.Abs(y[i]-yt[i]) > 1e-12*(1+math.Abs(y[i])) {
+				t.Fatalf("mode %v: symmetric transpose differs at %d: %g vs %g", mode, i, y[i], yt[i])
+			}
+		}
+	}
+}
+
+func TestApplyTransposeUnsymmetricVsDense(t *testing.T) {
+	pts := pointset.Cube(1500, 3, 112)
+	b := randVec(1500, 113)
+	k := drift3()
+	// Exact Aᵀ b: row i of Aᵀ is column i of A, i.e. Σ_j K(x_j, x_i) b_j.
+	want := make([]float64, 1500)
+	for j := 0; j < 1500; j++ {
+		if b[j] == 0 {
+			continue
+		}
+		for i := 0; i < 1500; i++ {
+			want[i] += k.EvalPair(pts.At(j), pts.At(i)) * b[j]
+		}
+	}
+	for _, mode := range []MemoryMode{Normal, OnTheFly} {
+		m, err := Build(pts, k, Config{Kind: DataDriven, Mode: mode, Tol: 1e-7, LeafSize: 70})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := relErr(m.ApplyTranspose(b), want); e > 1e-5 {
+			t.Fatalf("mode %v: transpose error %g", mode, e)
+		}
+	}
+}
+
+func TestApplyTransposeAdjointIdentity(t *testing.T) {
+	// ⟨Âx, y⟩ == ⟨x, Âᵀy⟩ must hold exactly for the same representation.
+	pts := pointset.Cube(1200, 3, 114)
+	k := drift3()
+	m, err := Build(pts, k, Config{Kind: DataDriven, Mode: OnTheFly, Tol: 1e-6, LeafSize: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(1200, 115)
+	y := randVec(1200, 116)
+	ax := m.Apply(x)
+	aty := m.ApplyTranspose(y)
+	lhs := mat.Dot(ax, y)
+	rhs := mat.Dot(x, aty)
+	if math.Abs(lhs-rhs) > 1e-9*(math.Abs(lhs)+math.Abs(rhs)) {
+		t.Fatalf("adjoint identity violated: %g vs %g", lhs, rhs)
+	}
+}
+
+func TestApplyBatchMatchesColumnwise(t *testing.T) {
+	pts := pointset.Dino(1500, 117)
+	for _, tc := range []struct {
+		kern kernel.Pairwise
+		mode MemoryMode
+	}{
+		{kernel.Coulomb{}, Normal},
+		{kernel.Coulomb{}, OnTheFly},
+		{drift3(), Normal},
+		{drift3(), OnTheFly},
+	} {
+		m, err := Build(pts, tc.kern, Config{Kind: DataDriven, Mode: tc.mode, Tol: 1e-6, LeafSize: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const k = 4
+		b := mat.NewDense(1500, k)
+		for j := 0; j < k; j++ {
+			col := randVec(1500, int64(120+j))
+			for i := 0; i < 1500; i++ {
+				b.Set(i, j, col[i])
+			}
+		}
+		y := m.ApplyBatch(b)
+		for j := 0; j < k; j++ {
+			col := make([]float64, 1500)
+			for i := range col {
+				col[i] = b.At(i, j)
+			}
+			want := m.Apply(col)
+			for i := range want {
+				if math.Abs(y.At(i, j)-want[i]) > 1e-10*(1+math.Abs(want[i])) {
+					t.Fatalf("%s/%v: batch column %d differs at %d: %g vs %g",
+						tc.kern.Name(), tc.mode, j, i, y.At(i, j), want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestApplyBatchShapePanics(t *testing.T) {
+	pts := pointset.Cube(200, 3, 130)
+	m, err := Build(pts, kernel.Coulomb{}, Config{Tol: 1e-4, LeafSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.ApplyBatch(mat.NewDense(100, 2))
+}

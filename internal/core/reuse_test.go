@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"h2ds/internal/kernel"
+	"h2ds/internal/pointset"
+)
+
+func TestReuseTreeAndHierarchyAcrossKernels(t *testing.T) {
+	// Paper §VI-A: the hierarchical sampling depends only on the points, so
+	// one sweep can be amortized across kernels. Reused builds must produce
+	// the same results as fresh builds.
+	pts := pointset.Cube(2000, 3, 40)
+	b := randVec(2000, 41)
+	first, err := Build(pts, kernel.Coulomb{}, Config{Kind: DataDriven, Mode: OnTheFly, Tol: 1e-6, LeafSize: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []kernel.Kernel{kernel.Exponential{}, kernel.Gaussian{Scale: 0.1}} {
+		fresh, err := Build(pts, k, Config{Kind: DataDriven, Mode: OnTheFly, Tol: 1e-6, LeafSize: 80})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused, err := Build(pts, k, Config{Kind: DataDriven, Mode: OnTheFly, Tol: 1e-6, LeafSize: 80,
+			ReuseTree: first.Tree, ReuseHierarchy: first.Hierarchy()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		yf := fresh.Apply(b)
+		yr := reused.Apply(b)
+		for i := range yf {
+			if yf[i] != yr[i] {
+				t.Fatalf("%s: reused build differs at %d: %g vs %g", k.Name(), i, yf[i], yr[i])
+			}
+		}
+	}
+	if first.Hierarchy() == nil {
+		t.Fatal("data-driven build must expose its hierarchy")
+	}
+	ip, err := Build(pts, kernel.Coulomb{}, Config{Kind: Interpolation, Tol: 1e-3, LeafSize: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.Hierarchy() != nil {
+		t.Fatal("interpolation build must not expose a hierarchy")
+	}
+}
+
+func TestReuseTreeShapeMismatch(t *testing.T) {
+	a, err := Build(pointset.Cube(500, 3, 42), kernel.Coulomb{}, Config{LeafSize: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(pointset.Cube(600, 3, 43), kernel.Coulomb{}, Config{ReuseTree: a.Tree}); err == nil {
+		t.Fatal("expected shape-mismatch error")
+	}
+	if _, err := Build(pointset.Cube(500, 2, 44), kernel.Coulomb{}, Config{ReuseTree: a.Tree}); err == nil {
+		t.Fatal("expected dim-mismatch error")
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"h2ds/internal/kernel"
+	"h2ds/internal/pointset"
+)
+
+// TestLinearComplexityScaling checks the paper's central complexity claim
+// structurally (no timers): as n doubles, the H² representation's memory
+// and block counts must grow close to linearly — far below the quadratic
+// growth of the dense matrix. Deterministic accounting makes this a stable
+// assertion.
+func TestLinearComplexityScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	type point struct {
+		n      int
+		mem    int64
+		blocks int
+	}
+	var pointsMeasured []point
+	for _, n := range []int{4000, 8000, 16000} {
+		pts := pointset.Cube(n, 3, 300)
+		m, err := Build(pts, kernel.Coulomb{}, Config{Kind: DataDriven, Mode: OnTheFly, Tol: 1e-6, LeafSize: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := m.Stats()
+		pointsMeasured = append(pointsMeasured, point{
+			n:      n,
+			mem:    m.Memory().Total(),
+			blocks: st.InteractionBlocks + st.NearBlocks,
+		})
+	}
+	for i := 1; i < len(pointsMeasured); i++ {
+		prev, cur := pointsMeasured[i-1], pointsMeasured[i]
+		memRatio := float64(cur.mem) / float64(prev.mem)
+		blockRatio := float64(cur.blocks) / float64(prev.blocks)
+		// Doubling n must grow memory and blocks by clearly less than 4x
+		// (quadratic); near-linear growth with log-factor slack is < 3.
+		if memRatio > 3 {
+			t.Fatalf("memory grew %gx when n doubled (%d -> %d): not near-linear", memRatio, prev.n, cur.n)
+		}
+		if blockRatio > 3.5 {
+			t.Fatalf("block count grew %gx when n doubled: not near-linear", blockRatio)
+		}
+	}
+	// And the absolute constant: far below dense storage at the largest n.
+	last := pointsMeasured[len(pointsMeasured)-1]
+	dense := int64(last.n) * int64(last.n) * 8
+	if last.mem*10 > dense {
+		t.Fatalf("H² memory %d within 10x of dense %d at n=%d", last.mem, dense, last.n)
+	}
+}
+
+// TestRankSaturationAcrossN checks the nested-basis premise: per-node ranks
+// are set by the kernel and tolerance, not by n, so the maximum rank must
+// stay essentially flat as the problem grows.
+func TestRankSaturationAcrossN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var ranks []int
+	for _, n := range []int{4000, 16000} {
+		pts := pointset.Cube(n, 3, 301)
+		m, err := Build(pts, kernel.Coulomb{}, Config{Kind: DataDriven, Mode: OnTheFly, Tol: 1e-6, LeafSize: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranks = append(ranks, m.Stats().MaxRank)
+	}
+	if float64(ranks[1]) > 1.6*float64(ranks[0])+5 {
+		t.Fatalf("max rank grew from %d to %d when n quadrupled; ranks should saturate", ranks[0], ranks[1])
+	}
+}

@@ -1,0 +1,431 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"h2ds/internal/interp"
+	"h2ds/internal/kernel"
+	"h2ds/internal/mat"
+	"h2ds/internal/pointset"
+	"h2ds/internal/sample"
+	"h2ds/internal/tree"
+)
+
+// Serialization lets a constructed H² matrix be persisted and reloaded —
+// construction is the expensive phase (paper §I-A), so saving the
+// generators extends the amortization story across processes. The format
+// stores the tree, permutation, per-node generators, skeleton indices, and
+// sampling hierarchy; stored coupling/nearfield blocks (normal mode) are
+// re-assembled from the kernel at load time, since they are pure kernel
+// submatrices.
+
+// serialMagic identifies the file format; serialVersion is bumped on any
+// incompatible change.
+const (
+	serialMagic   = "H2DS"
+	serialVersion = uint32(1)
+)
+
+type serialWriter struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+func (s *serialWriter) write(v any) {
+	if s.err != nil {
+		return
+	}
+	s.err = binary.Write(s.w, binary.LittleEndian, v)
+	if s.err == nil {
+		s.n += int64(binary.Size(v))
+	}
+}
+
+func (s *serialWriter) writeI64(v int) { s.write(int64(v)) }
+
+func (s *serialWriter) writeString(v string) {
+	s.writeI64(len(v))
+	if s.err != nil {
+		return
+	}
+	var n int
+	n, s.err = s.w.WriteString(v)
+	s.n += int64(n)
+}
+
+func (s *serialWriter) writeIntSlice(v []int) {
+	s.writeI64(len(v))
+	for _, x := range v {
+		s.writeI64(x)
+	}
+}
+
+func (s *serialWriter) writeF64Slice(v []float64) {
+	s.writeI64(len(v))
+	if s.err != nil || len(v) == 0 {
+		return
+	}
+	s.write(v)
+}
+
+func (s *serialWriter) writeDense(d *mat.Dense) {
+	if d == nil {
+		s.writeI64(-1)
+		return
+	}
+	s.writeI64(d.Rows)
+	s.writeI64(d.Cols)
+	s.writeF64Slice(d.Data)
+}
+
+type serialReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (s *serialReader) read(v any) {
+	if s.err != nil {
+		return
+	}
+	s.err = binary.Read(s.r, binary.LittleEndian, v)
+}
+
+func (s *serialReader) readI64() int {
+	var v int64
+	s.read(&v)
+	return int(v)
+}
+
+// maxSliceLen guards against corrupt headers allocating absurd amounts.
+const maxSliceLen = 1 << 33
+
+func (s *serialReader) checkLen(n int) bool {
+	if s.err != nil {
+		return false
+	}
+	if n < 0 || int64(n) > maxSliceLen {
+		s.err = fmt.Errorf("core: corrupt stream (length %d)", n)
+		return false
+	}
+	return true
+}
+
+func (s *serialReader) readString() string {
+	n := s.readI64()
+	if !s.checkLen(n) {
+		return ""
+	}
+	buf := make([]byte, n)
+	if s.err == nil {
+		_, s.err = io.ReadFull(s.r, buf)
+	}
+	return string(buf)
+}
+
+func (s *serialReader) readIntSlice() []int {
+	n := s.readI64()
+	if !s.checkLen(n) {
+		return nil
+	}
+	v := make([]int, n)
+	for i := range v {
+		v[i] = s.readI64()
+	}
+	return v
+}
+
+func (s *serialReader) readF64Slice() []float64 {
+	n := s.readI64()
+	if !s.checkLen(n) {
+		return nil
+	}
+	v := make([]float64, n)
+	if n > 0 {
+		s.read(v)
+	}
+	return v
+}
+
+func (s *serialReader) readDense() *mat.Dense {
+	rows := s.readI64()
+	if rows == -1 {
+		return nil
+	}
+	cols := s.readI64()
+	data := s.readF64Slice()
+	if s.err != nil {
+		return nil
+	}
+	if len(data) != rows*cols {
+		s.err = fmt.Errorf("core: corrupt dense block %dx%d with %d values", rows, cols, len(data))
+		return nil
+	}
+	return mat.NewDenseData(rows, cols, data)
+}
+
+// WriteTo serializes the matrix generators (not the kernel, which is code).
+// It implements io.WriterTo.
+func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
+	s := &serialWriter{w: bufio.NewWriter(w)}
+	s.writeString(serialMagic)
+	s.write(serialVersion)
+	s.writeString(m.Kern.Name())
+
+	// Configuration subset needed to reconstruct behavior.
+	s.write(uint8(m.Cfg.Kind))
+	s.write(uint8(m.Cfg.Mode))
+	s.write(m.Cfg.Tol)
+	s.writeI64(m.Cfg.LeafSize)
+	s.write(m.Cfg.Eta)
+	s.writeI64(m.Cfg.SampleBudget)
+	s.writeI64(m.Cfg.P)
+	s.write(m.sharedBasis)
+	s.writeI64(m.N)
+	s.writeI64(m.Dim)
+
+	// Tree.
+	t := m.Tree
+	s.writeF64Slice(t.Points.Coords)
+	s.writeIntSlice(t.Perm)
+	s.writeI64(t.LeafSize)
+	s.write(t.Eta)
+	s.writeI64(len(t.Nodes))
+	for i := range t.Nodes {
+		nd := &t.Nodes[i]
+		s.writeI64(nd.Parent)
+		s.writeI64(nd.Level)
+		s.writeI64(nd.Start)
+		s.writeI64(nd.End)
+		s.write(nd.IsLeaf)
+		s.writeIntSlice(nd.Children)
+		s.writeIntSlice(nd.Interaction)
+		s.writeIntSlice(nd.Near)
+		s.writeF64Slice(nd.Box.Min)
+		s.writeF64Slice(nd.Box.Max)
+	}
+
+	// Generators.
+	for id := range t.Nodes {
+		s.writeI64(m.ranks[id])
+		s.writeIntSlice(m.skel[id])
+		s.writeDense(m.u[id])
+		s.writeDense(m.trans[id])
+		if !m.sharedBasis {
+			s.writeI64(m.colRanks[id])
+			s.writeIntSlice(m.colSkel[id])
+			s.writeDense(m.v[id])
+			s.writeDense(m.wTrans[id])
+		}
+	}
+
+	// Sampling hierarchy (data-driven only).
+	if m.hier != nil {
+		s.write(true)
+		for id := range t.Nodes {
+			s.writeIntSlice(m.hier.XStar[id])
+			s.writeIntSlice(m.hier.YStar[id])
+		}
+	} else {
+		s.write(false)
+	}
+
+	if s.err == nil {
+		s.err = s.w.Flush()
+	}
+	return s.n, s.err
+}
+
+// Read deserializes a matrix written by WriteTo. The kernel is not stored
+// (it is code); the caller supplies it and its Name must match the one
+// recorded at save time. For normal memory mode the coupling and nearfield
+// blocks are re-assembled from the kernel (they are kernel submatrices, so
+// this is exact).
+func Read(r io.Reader, k kernel.Pairwise) (*Matrix, error) {
+	s := &serialReader{r: bufio.NewReader(r)}
+	if magic := s.readString(); s.err == nil && magic != serialMagic {
+		return nil, fmt.Errorf("core: not an h2ds stream (magic %q)", magic)
+	}
+	var version uint32
+	s.read(&version)
+	if s.err == nil && version != serialVersion {
+		return nil, fmt.Errorf("core: unsupported stream version %d (want %d)", version, serialVersion)
+	}
+	kname := s.readString()
+	if s.err == nil && kname != k.Name() {
+		return nil, fmt.Errorf("core: stream was built with kernel %q, got %q", kname, k.Name())
+	}
+
+	m := &Matrix{Kern: k}
+	var kind, mode uint8
+	s.read(&kind)
+	s.read(&mode)
+	m.Cfg.Kind = BasisKind(kind)
+	m.Cfg.Mode = MemoryMode(mode)
+	s.read(&m.Cfg.Tol)
+	m.Cfg.LeafSize = s.readI64()
+	s.read(&m.Cfg.Eta)
+	m.Cfg.SampleBudget = s.readI64()
+	m.Cfg.P = s.readI64()
+	s.read(&m.sharedBasis)
+	m.N = s.readI64()
+	m.Dim = s.readI64()
+	if s.err != nil {
+		return nil, s.err
+	}
+	if m.N <= 0 || m.Dim <= 0 || m.N > maxSliceLen || m.Dim > 64 {
+		return nil, fmt.Errorf("core: corrupt header n=%d dim=%d", m.N, m.Dim)
+	}
+
+	// Tree.
+	t := &tree.Tree{}
+	coords := s.readF64Slice()
+	t.Points = &pointset.Points{Dim: m.Dim, Coords: coords}
+	t.Perm = s.readIntSlice()
+	t.LeafSize = s.readI64()
+	s.read(&t.Eta)
+	nNodes := s.readI64()
+	if s.err != nil {
+		return nil, s.err
+	}
+	if !s.checkLen(nNodes) || len(coords) != m.N*m.Dim || len(t.Perm) != m.N {
+		return nil, fmt.Errorf("core: corrupt tree section")
+	}
+	t.InvPerm = make([]int, m.N)
+	for kk, orig := range t.Perm {
+		if orig < 0 || orig >= m.N {
+			return nil, fmt.Errorf("core: corrupt permutation entry %d", orig)
+		}
+		t.InvPerm[orig] = kk
+	}
+	t.Nodes = make([]tree.Node, nNodes)
+	for i := 0; i < nNodes; i++ {
+		nd := &t.Nodes[i]
+		nd.ID = i
+		nd.Parent = s.readI64()
+		nd.Level = s.readI64()
+		nd.Start = s.readI64()
+		nd.End = s.readI64()
+		s.read(&nd.IsLeaf)
+		nd.Children = s.readIntSlice()
+		nd.Interaction = s.readIntSlice()
+		nd.Near = s.readIntSlice()
+		nd.Box.Min = s.readF64Slice()
+		nd.Box.Max = s.readF64Slice()
+		if s.err != nil {
+			return nil, s.err
+		}
+		for len(t.Levels) <= nd.Level {
+			t.Levels = append(t.Levels, nil)
+		}
+		t.Levels[nd.Level] = append(t.Levels[nd.Level], i)
+		if nd.IsLeaf {
+			t.Leaves = append(t.Leaves, i)
+		}
+	}
+	m.Tree = t
+
+	// Generators.
+	m.u = make([]*mat.Dense, nNodes)
+	m.trans = make([]*mat.Dense, nNodes)
+	m.ranks = make([]int, nNodes)
+	m.skel = make([][]int, nNodes)
+	m.skelPts = make([]*pointset.Points, nNodes)
+	if !m.sharedBasis {
+		m.v = make([]*mat.Dense, nNodes)
+		m.wTrans = make([]*mat.Dense, nNodes)
+		m.colRanks = make([]int, nNodes)
+		m.colSkel = make([][]int, nNodes)
+	}
+	for id := 0; id < nNodes; id++ {
+		m.ranks[id] = s.readI64()
+		m.skel[id] = s.readIntSlice()
+		m.u[id] = s.readDense()
+		m.trans[id] = s.readDense()
+		if !m.sharedBasis {
+			m.colRanks[id] = s.readI64()
+			m.colSkel[id] = s.readIntSlice()
+			m.v[id] = s.readDense()
+			m.wTrans[id] = s.readDense()
+		}
+		if s.err != nil {
+			return nil, s.err
+		}
+	}
+
+	// Sampling hierarchy.
+	var hasHier bool
+	s.read(&hasHier)
+	if hasHier {
+		m.hier = &sample.Hierarchy{XStar: make([][]int, nNodes), YStar: make([][]int, nNodes)}
+		for id := 0; id < nNodes; id++ {
+			m.hier.XStar[id] = s.readIntSlice()
+			m.hier.YStar[id] = s.readIntSlice()
+		}
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+
+	// Rebuild derived state: identity index, skeleton point sets, grids.
+	m.allIdx = make([]int, m.N)
+	for i := range m.allIdx {
+		m.allIdx[i] = i
+	}
+	if m.Cfg.Kind == Interpolation {
+		for id := range t.Nodes {
+			m.skelPts[id] = interp.NewGrid(t.Nodes[id].Box, m.Cfg.P).Points()
+		}
+	} else {
+		for id := range t.Nodes {
+			m.skelPts[id] = t.Points
+		}
+	}
+	if err := m.validateLoaded(); err != nil {
+		return nil, err
+	}
+	if m.Cfg.Mode == Normal {
+		m.storeBlocks()
+	}
+	m.finishStats()
+	return m, nil
+}
+
+// validateLoaded sanity-checks cross-references after deserialization so a
+// corrupt stream fails loudly instead of panicking later.
+func (m *Matrix) validateLoaded() error {
+	nNodes := len(m.Tree.Nodes)
+	for id := 0; id < nNodes; id++ {
+		nd := &m.Tree.Nodes[id]
+		if nd.Start < 0 || nd.End > m.N || nd.Start > nd.End {
+			return fmt.Errorf("core: corrupt node %d range [%d,%d)", id, nd.Start, nd.End)
+		}
+		for _, c := range nd.Children {
+			if c < 0 || c >= nNodes {
+				return fmt.Errorf("core: corrupt child id %d", c)
+			}
+		}
+		for _, j := range append(append([]int(nil), nd.Interaction...), nd.Near...) {
+			if j < 0 || j >= nNodes {
+				return fmt.Errorf("core: corrupt list entry %d at node %d", j, id)
+			}
+		}
+		limit := m.skelPts[id].Len()
+		for _, p := range m.skel[id] {
+			if p < 0 || p >= limit {
+				return fmt.Errorf("core: corrupt skeleton index %d at node %d", p, id)
+			}
+		}
+		if len(m.skel[id]) != m.ranks[id] {
+			return fmt.Errorf("core: node %d skeleton/rank mismatch", id)
+		}
+		if v := m.Cfg.Tol; math.IsNaN(v) || v <= 0 {
+			return fmt.Errorf("core: corrupt tolerance %g", v)
+		}
+	}
+	return nil
+}

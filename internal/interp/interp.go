@@ -1,0 +1,187 @@
+// Package interp implements tensor-grid Chebyshev interpolation, the
+// paper's baseline construction for H² matrices (§I-B2): per-node
+// interpolation grids, barycentric Lagrange basis evaluation, and the
+// tolerance → points-per-direction calibration.
+//
+// In d dimensions a grid with p points per direction has rank p^d — the
+// curse of dimensionality the data-driven method is designed to escape.
+package interp
+
+import (
+	"math"
+
+	"h2ds/internal/mat"
+	"h2ds/internal/pointset"
+)
+
+// minHalfWidth keeps degenerate box axes (all points sharing a coordinate)
+// from producing coincident interpolation nodes, which would break the
+// barycentric weights.
+const minHalfWidth = 1e-8
+
+// Grid is a tensor-product Chebyshev grid over an axis-aligned box.
+type Grid struct {
+	Dim int
+	P   int // points per direction
+	// Nodes1D[j] holds the P Chebyshev nodes along axis j, mapped to the box.
+	Nodes1D [][]float64
+	// weights1D[j] holds the barycentric weights for axis j (shared across
+	// axes up to the affine map, but stored per axis for clarity).
+	weights1D [][]float64
+}
+
+// Rank returns the total number of grid points, p^d.
+func (g *Grid) Rank() int {
+	r := 1
+	for i := 0; i < g.Dim; i++ {
+		r *= g.P
+	}
+	return r
+}
+
+// NewGrid builds the Chebyshev grid of the box with p points per direction.
+// First-kind Chebyshev points are used: x_k = cos((2k+1)π/(2p)) on [-1, 1],
+// whose barycentric weights are (-1)^k sin((2k+1)π/(2p)).
+func NewGrid(box pointset.BBox, p int) *Grid {
+	d := len(box.Min)
+	g := &Grid{Dim: d, P: p, Nodes1D: make([][]float64, d), weights1D: make([][]float64, d)}
+	for j := 0; j < d; j++ {
+		lo, hi := box.Min[j], box.Max[j]
+		c := 0.5 * (lo + hi)
+		h := 0.5 * (hi - lo)
+		if h < minHalfWidth {
+			h = minHalfWidth
+		}
+		nodes := make([]float64, p)
+		w := make([]float64, p)
+		for k := 0; k < p; k++ {
+			theta := (2*float64(k) + 1) * math.Pi / (2 * float64(p))
+			nodes[k] = c + h*math.Cos(theta)
+			sign := 1.0
+			if k%2 == 1 {
+				sign = -1
+			}
+			w[k] = sign * math.Sin(theta)
+		}
+		g.Nodes1D[j] = nodes
+		g.weights1D[j] = w
+	}
+	return g
+}
+
+// Point writes grid point k (0 <= k < Rank) into dst (length Dim). The
+// index is decomposed with axis 0 fastest.
+func (g *Grid) Point(k int, dst []float64) {
+	for j := 0; j < g.Dim; j++ {
+		dst[j] = g.Nodes1D[j][k%g.P]
+		k /= g.P
+	}
+}
+
+// Points returns all grid points as a point set (rank-many points).
+func (g *Grid) Points() *pointset.Points {
+	r := g.Rank()
+	pts := pointset.New(r, g.Dim)
+	for k := 0; k < r; k++ {
+		g.Point(k, pts.At(k))
+	}
+	return pts
+}
+
+// lagrange1D evaluates all P Lagrange basis polynomials of axis j at x
+// into out using the barycentric formula.
+func (g *Grid) lagrange1D(j int, x float64, out []float64) {
+	nodes := g.Nodes1D[j]
+	w := g.weights1D[j]
+	// Exact node hit: the basis is a Kronecker delta.
+	for k, xk := range nodes {
+		if x == xk {
+			for i := range out {
+				out[i] = 0
+			}
+			out[k] = 1
+			return
+		}
+	}
+	denom := 0.0
+	for k := range nodes {
+		out[k] = w[k] / (x - nodes[k])
+		denom += out[k]
+	}
+	inv := 1 / denom
+	for k := range out {
+		out[k] *= inv
+	}
+}
+
+// EvalBasisRow writes the rank-many tensor Lagrange basis values at point x
+// into row (length Rank): row[k] = Π_j L_{k_j}(x_j).
+func (g *Grid) EvalBasisRow(x []float64, row []float64, scratch []float64) {
+	p, d := g.P, g.Dim
+	// scratch holds the d*p one-dimensional basis values.
+	for j := 0; j < d; j++ {
+		g.lagrange1D(j, x[j], scratch[j*p:(j+1)*p])
+	}
+	r := len(row)
+	for k := 0; k < r; k++ {
+		v := 1.0
+		idx := k
+		for j := 0; j < d; j++ {
+			v *= scratch[j*p+idx%p]
+			idx /= p
+		}
+		row[k] = v
+	}
+}
+
+// BasisMatrix returns the len(idx)-by-Rank matrix of tensor Lagrange basis
+// values for the selected points of pts: row a holds the basis evaluated at
+// pts.At(idx[a]). This is the interpolation construction's U (leaf) matrix.
+func (g *Grid) BasisMatrix(pts *pointset.Points, idx []int) *mat.Dense {
+	r := g.Rank()
+	out := mat.NewDense(len(idx), r)
+	scratch := make([]float64, g.Dim*g.P)
+	for a, i := range idx {
+		g.EvalBasisRow(pts.At(i), out.Row(a), scratch)
+	}
+	return out
+}
+
+// TransferMatrix returns the child-to-parent transfer block: the
+// childRank-by-parentRank matrix of the parent grid's basis polynomials
+// evaluated at the child's grid points. Because both grids use the same
+// per-axis degree, re-interpolating the parent polynomials on the child
+// grid is exact, which preserves the nested-basis property exactly.
+func TransferMatrix(parent, child *Grid) *mat.Dense {
+	cr := child.Rank()
+	pr := parent.Rank()
+	out := mat.NewDense(cr, pr)
+	x := make([]float64, child.Dim)
+	scratch := make([]float64, parent.Dim*parent.P)
+	for k := 0; k < cr; k++ {
+		child.Point(k, x)
+		parent.EvalBasisRow(x, out.Row(k), scratch)
+	}
+	return out
+}
+
+// PFromTol returns the points-per-direction p for a requested relative
+// tolerance, calibrated for the library's default separation parameter
+// η = 0.7 on smooth radial kernels (see EXPERIMENTS.md for the calibration
+// sweep). The interpolation error decays geometrically in p — roughly one
+// decimal digit per added point per direction at this separation — so p
+// grows with log10(1/tol) and is independent of the dimension; the
+// dimension enters through the rank p^d instead.
+func PFromTol(tol float64) int {
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	p := int(math.Ceil(-math.Log10(tol))) + 1
+	if p < 2 {
+		p = 2
+	}
+	if p > 14 {
+		p = 14
+	}
+	return p
+}

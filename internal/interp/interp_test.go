@@ -1,0 +1,232 @@
+package interp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"h2ds/internal/kernel"
+	"h2ds/internal/mat"
+	"h2ds/internal/pointset"
+)
+
+func unitBox(d int) pointset.BBox {
+	b := pointset.BBox{Min: make([]float64, d), Max: make([]float64, d)}
+	for i := 0; i < d; i++ {
+		b.Max[i] = 1
+	}
+	return b
+}
+
+func TestGridRankAndPoints(t *testing.T) {
+	g := NewGrid(unitBox(3), 4)
+	if g.Rank() != 64 {
+		t.Fatalf("rank %d want 64", g.Rank())
+	}
+	pts := g.Points()
+	if pts.Len() != 64 {
+		t.Fatalf("points %d", pts.Len())
+	}
+	for i := 0; i < pts.Len(); i++ {
+		for _, v := range pts.At(i) {
+			if v < 0 || v > 1 {
+				t.Fatalf("grid point outside box: %g", v)
+			}
+		}
+	}
+	// Nodes along each axis are distinct and interior.
+	for j := 0; j < 3; j++ {
+		seen := map[float64]bool{}
+		for _, v := range g.Nodes1D[j] {
+			if seen[v] {
+				t.Fatal("duplicate 1-D node")
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestLagrangeCardinality(t *testing.T) {
+	// Basis evaluated exactly at grid point k must be the unit vector e_k.
+	g := NewGrid(unitBox(2), 5)
+	r := g.Rank()
+	x := make([]float64, 2)
+	row := make([]float64, r)
+	scratch := make([]float64, 2*5)
+	for k := 0; k < r; k++ {
+		g.Point(k, x)
+		g.EvalBasisRow(x, row, scratch)
+		for j := 0; j < r; j++ {
+			want := 0.0
+			if j == k {
+				want = 1
+			}
+			if math.Abs(row[j]-want) > 1e-12 {
+				t.Fatalf("basis at node %d: entry %d = %g want %g", k, j, row[j], want)
+			}
+		}
+	}
+}
+
+func TestPartitionOfUnity(t *testing.T) {
+	// Lagrange bases sum to one at any point (interpolation of f ≡ 1 is
+	// exact).
+	g := NewGrid(unitBox(3), 6)
+	rng := rand.New(rand.NewSource(1))
+	row := make([]float64, g.Rank())
+	scratch := make([]float64, 3*6)
+	for trial := 0; trial < 20; trial++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		g.EvalBasisRow(x, row, scratch)
+		s := 0.0
+		for _, v := range row {
+			s += v
+		}
+		if math.Abs(s-1) > 1e-11 {
+			t.Fatalf("partition of unity violated: sum %g", s)
+		}
+	}
+}
+
+func TestPolynomialExactness(t *testing.T) {
+	// Interpolation with p points per direction reproduces polynomials of
+	// per-axis degree < p exactly: f(x,y) = x²y - 3x + 2y² with p = 3.
+	f := func(x []float64) float64 { return x[0]*x[0]*x[1] - 3*x[0] + 2*x[1]*x[1] }
+	g := NewGrid(unitBox(2), 3)
+	gp := g.Points()
+	fvals := make([]float64, gp.Len())
+	for i := range fvals {
+		fvals[i] = f(gp.At(i))
+	}
+	rng := rand.New(rand.NewSource(2))
+	row := make([]float64, g.Rank())
+	scratch := make([]float64, 2*3)
+	for trial := 0; trial < 20; trial++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		g.EvalBasisRow(x, row, scratch)
+		got := mat.Dot(row, fvals)
+		if math.Abs(got-f(x)) > 1e-12 {
+			t.Fatalf("polynomial not reproduced: got %g want %g", got, f(x))
+		}
+	}
+}
+
+func TestInterpolationErrorDecay(t *testing.T) {
+	// Interpolating the Coulomb kernel between two well-separated boxes:
+	// the error must drop geometrically as p grows.
+	src := unitBox(3)
+	// Target point drawn from the box [3,4]x[0,1]x[0,1], well separated
+	// from the source box.
+	k := kernel.Coulomb{}
+	rng := rand.New(rand.NewSource(3))
+	y := []float64{3 + rng.Float64(), rng.Float64(), rng.Float64()}
+	prevErr := math.Inf(1)
+	for _, p := range []int{2, 4, 6, 8} {
+		g := NewGrid(src, p)
+		gp := g.Points()
+		kv := make([]float64, gp.Len())
+		for i := range kv {
+			kv[i] = kernel.Eval(k, gp.At(i), y)
+		}
+		row := make([]float64, g.Rank())
+		scratch := make([]float64, 3*p)
+		maxErr := 0.0
+		for trial := 0; trial < 30; trial++ {
+			x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+			g.EvalBasisRow(x, row, scratch)
+			got := mat.Dot(row, kv)
+			want := kernel.Eval(k, x, y)
+			if e := math.Abs(got-want) / math.Abs(want); e > maxErr {
+				maxErr = e
+			}
+		}
+		if maxErr > prevErr {
+			t.Fatalf("p=%d: error %g did not decrease from %g", p, maxErr, prevErr)
+		}
+		prevErr = maxErr
+	}
+	if prevErr > 1e-6 {
+		t.Fatalf("p=8 error %g too large for well-separated boxes", prevErr)
+	}
+}
+
+func TestTransferMatrixExactness(t *testing.T) {
+	// Nested-basis identity: evaluating the parent basis directly at a
+	// point must equal (child basis at the point) * TransferMatrix, because
+	// the child grid reproduces the parent polynomials exactly.
+	parentBox := unitBox(2)
+	childBox := pointset.BBox{Min: []float64{0, 0}, Max: []float64{0.5, 1}}
+	p := 5
+	gp := NewGrid(parentBox, p)
+	gc := NewGrid(childBox, p)
+	tm := TransferMatrix(gp, gc)
+	if tm.Rows != gc.Rank() || tm.Cols != gp.Rank() {
+		t.Fatalf("transfer shape %dx%d", tm.Rows, tm.Cols)
+	}
+	rng := rand.New(rand.NewSource(4))
+	rowP := make([]float64, gp.Rank())
+	rowC := make([]float64, gc.Rank())
+	sp := make([]float64, 2*p)
+	for trial := 0; trial < 15; trial++ {
+		x := []float64{0.5 * rng.Float64(), rng.Float64()} // inside child box
+		gp.EvalBasisRow(x, rowP, sp)
+		gc.EvalBasisRow(x, rowC, sp)
+		// rowP ?= rowC * tm
+		for j := 0; j < gp.Rank(); j++ {
+			s := 0.0
+			for i := 0; i < gc.Rank(); i++ {
+				s += rowC[i] * tm.At(i, j)
+			}
+			if math.Abs(s-rowP[j]) > 1e-10 {
+				t.Fatalf("transfer identity broken at basis %d: %g vs %g", j, s, rowP[j])
+			}
+		}
+	}
+}
+
+func TestBasisMatrix(t *testing.T) {
+	g := NewGrid(unitBox(3), 3)
+	pts := pointset.Cube(10, 3, 5)
+	b := g.BasisMatrix(pts, []int{2, 7})
+	if b.Rows != 2 || b.Cols != 27 {
+		t.Fatalf("basis matrix shape %dx%d", b.Rows, b.Cols)
+	}
+	row := make([]float64, 27)
+	scratch := make([]float64, 9)
+	g.EvalBasisRow(pts.At(7), row, scratch)
+	for j := range row {
+		if b.At(1, j) != row[j] {
+			t.Fatal("BasisMatrix row disagrees with EvalBasisRow")
+		}
+	}
+}
+
+func TestDegenerateBoxAxis(t *testing.T) {
+	// A box with zero width along one axis (e.g. points on a plane) must
+	// still produce finite, distinct nodes and finite basis values.
+	box := pointset.BBox{Min: []float64{0, 0.5, 0}, Max: []float64{1, 0.5, 1}}
+	g := NewGrid(box, 4)
+	row := make([]float64, g.Rank())
+	scratch := make([]float64, 3*4)
+	g.EvalBasisRow([]float64{0.3, 0.5, 0.9}, row, scratch)
+	for _, v := range row {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("degenerate axis produced non-finite basis value")
+		}
+	}
+}
+
+func TestPFromTol(t *testing.T) {
+	if PFromTol(1e-2) >= PFromTol(1e-8) {
+		t.Fatal("p must grow as tolerance tightens")
+	}
+	if PFromTol(0) != PFromTol(1e-8) {
+		t.Fatal("tol<=0 must default to 1e-8")
+	}
+	if PFromTol(1) < 2 {
+		t.Fatal("p floor violated")
+	}
+	if PFromTol(1e-300) > 14 {
+		t.Fatal("p cap violated")
+	}
+}

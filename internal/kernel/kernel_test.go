@@ -1,0 +1,201 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"h2ds/internal/mat"
+	"h2ds/internal/pointset"
+)
+
+// allKernels lists the radially decaying kernels (used by decay/positivity
+// tests).
+func allKernels() []Kernel {
+	return []Kernel{Coulomb{}, CoulombCubed{}, Exponential{}, Gaussian{Scale: 0.1}, Matern32{Length: 1}, Matern52{Length: 1}, InverseMultiquadric{C: 1}}
+}
+
+// everyKernel adds the non-monotone thin-plate spline for tests that only
+// need symmetry/assembly semantics.
+func everyKernel() []Kernel {
+	return append(allKernels(), ThinPlate{})
+}
+
+func TestKernelValues(t *testing.T) {
+	cases := []struct {
+		k    Kernel
+		r    float64
+		want float64
+	}{
+		{Coulomb{}, 2, 0.5},
+		{Coulomb{}, 0, 0},
+		{CoulombCubed{}, 2, 0.125},
+		{CoulombCubed{}, 0, 0},
+		{Exponential{}, 0, 1},
+		{Exponential{}, 1, math.Exp(-1)},
+		{Gaussian{Scale: 0.1}, 0, 1},
+		{Gaussian{Scale: 0.1}, 1, math.Exp(-10)},
+		{Gaussian{}, 1, math.Exp(-10)}, // zero Scale defaults to 0.1
+		{Matern32{Length: 1}, 0, 1},
+		{Matern32{}, 0, 1},
+		{Matern52{Length: 1}, 0, 1},
+		{Matern52{}, 0, 1},
+		{InverseMultiquadric{C: 2}, 0, 0.5},
+		{InverseMultiquadric{}, 0, 1}, // zero C defaults to 1
+		{ThinPlate{}, 0, 0},
+		{ThinPlate{}, 1, 0},
+		{ThinPlate{}, math.E, math.E * math.E},
+	}
+	for _, c := range cases {
+		if got := c.k.EvalDist(c.r); math.Abs(got-c.want) > 1e-14 {
+			t.Errorf("%s(%g) = %g want %g", c.k.Name(), c.r, got, c.want)
+		}
+	}
+}
+
+func TestKernelsMonotoneDecay(t *testing.T) {
+	// All included kernels are radially non-increasing for r > 0.
+	for _, k := range allKernels() {
+		prev := k.EvalDist(0.01)
+		for r := 0.02; r < 5; r += 0.13 {
+			v := k.EvalDist(r)
+			if v > prev+1e-15 {
+				t.Fatalf("%s not decaying at r=%g", k.Name(), r)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestEvalMatchesDist(t *testing.T) {
+	x := []float64{0, 0, 0}
+	y := []float64{3, 4, 0}
+	if got := Eval(Coulomb{}, x, y); math.Abs(got-0.2) > 1e-15 {
+		t.Fatalf("Eval = %g want 0.2", got)
+	}
+}
+
+func TestNamed(t *testing.T) {
+	for _, name := range []string{"coulomb", "coulomb3", "exp", "gaussian", "matern32", "matern52", "imq", "thinplate"} {
+		k, ok := Named(name)
+		if !ok || k.Name() != name {
+			t.Fatalf("Named(%q) -> %v %v", name, k, ok)
+		}
+	}
+	if _, ok := Named("nope"); ok {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestAssembleAgainstEval(t *testing.T) {
+	for _, d := range []int{2, 3, 4} { // exercises the 2-D, 3-D, and generic paths
+		x := pointset.Cube(12, d, int64(d))
+		y := pointset.Cube(9, d, int64(d+10))
+		rows := []int{0, 5, 11, 3}
+		cols := []int{8, 0, 2}
+		for _, k := range everyKernel() {
+			b := NewBlock(k, x, rows, y, cols)
+			if b.Rows != 4 || b.Cols != 3 {
+				t.Fatalf("d=%d %s: block shape %dx%d", d, k.Name(), b.Rows, b.Cols)
+			}
+			for a, i := range rows {
+				for c, j := range cols {
+					want := Eval(k, x.At(i), y.At(j))
+					if math.Abs(b.At(a, c)-want) > 1e-14 {
+						t.Fatalf("d=%d %s: block (%d,%d) = %g want %g", d, k.Name(), a, c, b.At(a, c), want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAssembleReusesScratch(t *testing.T) {
+	x := pointset.Cube(20, 3, 1)
+	dst := mat.NewDense(0, 0)
+	Assemble(dst, Coulomb{}, x, []int{0, 1, 2, 3, 4}, x, []int{5, 6, 7})
+	d0 := &dst.Data[0]
+	Assemble(dst, Coulomb{}, x, []int{0, 1}, x, []int{5, 6})
+	if &dst.Data[0] != d0 {
+		t.Fatal("Assemble should reuse scratch storage when it fits")
+	}
+}
+
+func TestAssembleSymmetry(t *testing.T) {
+	x := pointset.Sphere(30, 2)
+	idxA := []int{1, 4, 9}
+	idxB := []int{20, 7}
+	for _, k := range everyKernel() {
+		ab := NewBlock(k, x, idxA, x, idxB)
+		ba := NewBlock(k, x, idxB, x, idxA)
+		if !ab.Equal(ba.T(), 0) {
+			t.Fatalf("%s: K(A,B) != K(B,A)ᵀ", k.Name())
+		}
+	}
+}
+
+func TestApplyBlockMatchesAssembled(t *testing.T) {
+	x := pointset.Cube(40, 3, 3)
+	rows := []int{0, 3, 17, 39}
+	cols := []int{5, 6, 8, 22, 30}
+	rng := rand.New(rand.NewSource(4))
+	v := make([]float64, 40)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	for _, k := range everyKernel() {
+		y1 := make([]float64, 40)
+		ApplyBlock(k, x, rows, cols, v, y1)
+		// Reference: assemble then multiply.
+		b := NewBlock(k, x, rows, x, cols)
+		vc := make([]float64, len(cols))
+		for c, j := range cols {
+			vc[c] = v[j]
+		}
+		prod := mat.MulVec(b, vc)
+		for r, i := range rows {
+			if math.Abs(y1[i]-prod[r]) > 1e-12 {
+				t.Fatalf("%s: ApplyBlock row %d = %g want %g", k.Name(), i, y1[i], prod[r])
+			}
+		}
+	}
+}
+
+func TestRowApplyMatchesFullProduct(t *testing.T) {
+	x := pointset.Cube(25, 2, 6)
+	rng := rand.New(rand.NewSource(7))
+	v := make([]float64, 25)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	all := make([]int, 25)
+	for i := range all {
+		all[i] = i
+	}
+	k := Exponential{}
+	a := NewBlock(k, x, all, x, all)
+	want := mat.MulVec(a, v)
+	for _, i := range []int{0, 7, 24} {
+		got := RowApply(k, x, i, v)
+		if math.Abs(got-want[i]) > 1e-12 {
+			t.Fatalf("RowApply(%d) = %g want %g", i, got, want[i])
+		}
+	}
+}
+
+func TestKernelPositivityProperty(t *testing.T) {
+	// All these kernels are non-negative everywhere.
+	f := func(r float64) bool {
+		r = math.Abs(r)
+		for _, k := range allKernels() {
+			if v := k.EvalDist(r); v < 0 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

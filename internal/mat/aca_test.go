@@ -1,0 +1,133 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestACAExactLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for _, k := range []int{1, 3, 7} {
+		a := randLowRank(rng, 40, 30, k)
+		u, v := ACA(40, 30, a.At, 1e-12, 0)
+		if u.Cols > k+1 {
+			t.Fatalf("rank-%d matrix: ACA used rank %d", k, u.Cols)
+		}
+		rec := Mul(u, v.T())
+		if relErr := rec.Sub(a).FrobNorm() / a.FrobNorm(); relErr > 1e-9 {
+			t.Fatalf("rank-%d: reconstruction error %g", k, relErr)
+		}
+	}
+}
+
+func TestACADecayingSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	n := 35
+	uq := NewQR(randDense(rng, n, n)).Q()
+	vq := NewQR(randDense(rng, n, n)).Q()
+	d := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		d.Set(i, i, math.Pow(10, -float64(i)/2))
+	}
+	a := Mul(Mul(uq, d), vq.T())
+	for _, tol := range []float64{1e-3, 1e-6} {
+		rec := ACAApprox(a, tol, 0)
+		if relErr := rec.Sub(a).FrobNorm() / a.FrobNorm(); relErr > 100*tol {
+			t.Fatalf("tol %g: error %g", tol, relErr)
+		}
+	}
+}
+
+func TestACASmoothKernelBlock(t *testing.T) {
+	// The well-separated kernel-block case ACA is designed for: entries
+	// 1/(3 + x_i - y_j) over two separated 1-D clusters.
+	m, n := 50, 45
+	entry := func(i, j int) float64 {
+		return 1 / (3 + float64(i)/float64(m) - float64(j)/float64(n))
+	}
+	u, v := ACA(m, n, entry, 1e-10, 0)
+	if u.Cols > 15 {
+		t.Fatalf("smooth block needed rank %d", u.Cols)
+	}
+	rec := Mul(u, v.T())
+	var num, den float64
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			d := rec.At(i, j) - entry(i, j)
+			num += d * d
+			den += entry(i, j) * entry(i, j)
+		}
+	}
+	if math.Sqrt(num/den) > 1e-8 {
+		t.Fatalf("smooth block error %g", math.Sqrt(num/den))
+	}
+}
+
+func TestACAMaxRankCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	a := randDense(rng, 20, 20)
+	u, _ := ACA(20, 20, a.At, 0, 5)
+	if u.Cols != 5 {
+		t.Fatalf("rank cap ignored: %d", u.Cols)
+	}
+}
+
+func TestACAZeroMatrix(t *testing.T) {
+	u, v := ACA(10, 8, func(i, j int) float64 { return 0 }, 1e-10, 0)
+	if u.Cols != 0 || v.Cols != 0 {
+		t.Fatalf("zero matrix got rank %d", u.Cols)
+	}
+}
+
+// TestACAZeroBlockFailure demonstrates the heuristic failure mode the paper
+// cites (§VII: "ACA may fail for general kernel functions and complex
+// geometries"): a block-diagonal-like matrix whose second block is
+// invisible from the crosses the pivoting walks first. With the row budget
+// capped as a real implementation would (maxRank), the untouched block's
+// mass is simply missing from the approximation, while the SVD-quality
+// rank-capped error would be near zero.
+func TestACAZeroBlockFailure(t *testing.T) {
+	// A = [B 0; 0 tiny*C] with rank(B)=2: partial pivoting starting in the
+	// B rows keeps finding structure there and stops when the residual
+	// *it can see* underflows, never visiting the tiny block.
+	rng := rand.New(rand.NewSource(73))
+	n := 40
+	b := randLowRank(rng, 20, 20, 2)
+	c := randLowRank(rng, 20, 20, 2)
+	a := NewDense(n, n)
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			a.Set(i, j, b.At(i, j))
+			a.Set(20+i, 20+j, 1e-4*c.At(i, j))
+		}
+	}
+	u, v := ACA(n, n, a.At, 1e-8, 0)
+	rec := Mul(u, v.T())
+	relErr := rec.Sub(a).FrobNorm() / a.FrobNorm()
+	// The optimal rank-4 approximation is exact; ACA at tol 1e-8 should
+	// have recovered everything if it were reliable. If this ever starts
+	// passing with tiny error, the demonstration matrix needs sharpening —
+	// assert the documented failure explicitly.
+	if u.Cols >= 4 && relErr < 1e-8 {
+		t.Skip("ACA happened to find the hidden block on this seed; failure demo not triggered")
+	}
+	if relErr < 1e-8 {
+		t.Fatalf("expected visible ACA deficiency, got error %g at rank %d", relErr, u.Cols)
+	}
+}
+
+func TestACAOracleCallCount(t *testing.T) {
+	// ACA must stay O((m+n)·r) oracle calls — never touch all m*n entries.
+	m, n := 200, 180
+	calls := 0
+	entry := func(i, j int) float64 {
+		calls++
+		return 1 / (4 + float64(i)/float64(m) + float64(j)/float64(n))
+	}
+	u, _ := ACA(m, n, entry, 1e-8, 0)
+	budget := (m + n) * (u.Cols + 2)
+	if calls > budget {
+		t.Fatalf("oracle called %d times for rank %d (budget %d)", calls, u.Cols, budget)
+	}
+}

@@ -1,0 +1,178 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// CPQR holds a truncated column-pivoted Householder QR factorization
+//
+//	A P ≈ Q [R11 R12]
+//
+// where R11 is Rank-by-Rank upper triangular with non-increasing diagonal
+// magnitudes. Perm lists the column order (Perm[k] is the original index of
+// the k-th pivoted column); the first Rank entries are the selected columns.
+type CPQR struct {
+	Fac  *Dense
+	Tau  []float64
+	Perm []int
+	Rank int
+}
+
+// cpqrRecomputeTrigger controls when downdated column norms are recomputed
+// from scratch to avoid catastrophic cancellation.
+const cpqrRecomputeTrigger = 1e-6
+
+// NewCPQR computes a column-pivoted QR of a (not modified), truncated at the
+// first step k where the largest remaining column norm falls to
+// tol * (largest initial pivot norm), or at maxRank columns, whichever comes
+// first. maxRank <= 0 means no rank cap. tol <= 0 disables the tolerance
+// stop. Works for any shape, including rows < cols.
+func NewCPQR(a *Dense, tol float64, maxRank int) *CPQR {
+	f := a.Clone()
+	m, n := f.Rows, f.Cols
+	kmax := min(m, n)
+	if maxRank > 0 && maxRank < kmax {
+		kmax = maxRank
+	}
+	tau := make([]float64, 0, kmax)
+	perm := make([]int, n)
+	for j := range perm {
+		perm[j] = j
+	}
+
+	// Current (downdated) squared norms of the trailing column parts, plus
+	// the exact values at the time of the last recompute for the
+	// cancellation trigger.
+	norms := make([]float64, n)
+	normsRef := make([]float64, n)
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for i := 0; i < m; i++ {
+			v := f.At(i, j)
+			s += v * v
+		}
+		norms[j] = s
+		normsRef[j] = s
+	}
+
+	firstPivot := 0.0
+	rank := 0
+	for k := 0; k < kmax; k++ {
+		// Select pivot.
+		p, best := k, norms[k]
+		for j := k + 1; j < n; j++ {
+			if norms[j] > best {
+				p, best = j, norms[j]
+			}
+		}
+		pivNorm := math.Sqrt(math.Max(best, 0))
+		if k == 0 {
+			firstPivot = pivNorm
+		}
+		if pivNorm == 0 || (tol > 0 && pivNorm <= tol*firstPivot) {
+			break
+		}
+		if p != k {
+			swapColumns(f, k, p)
+			perm[k], perm[p] = perm[p], perm[k]
+			norms[k], norms[p] = norms[p], norms[k]
+			normsRef[k], normsRef[p] = normsRef[p], normsRef[k]
+		}
+		t := houseColumn(f, k, k)
+		applyHouseLeft(f, k, k, t, k+1, n)
+		tau = append(tau, t)
+		rank++
+
+		// Downdate trailing norms; recompute any that lost too many digits.
+		for j := k + 1; j < n; j++ {
+			r := f.At(k, j)
+			norms[j] -= r * r
+			if norms[j] < cpqrRecomputeTrigger*normsRef[j] || norms[j] < 0 {
+				s := 0.0
+				for i := k + 1; i < m; i++ {
+					v := f.At(i, j)
+					s += v * v
+				}
+				norms[j] = s
+				normsRef[j] = s
+			}
+		}
+	}
+	return &CPQR{Fac: f, Tau: tau, Perm: perm, Rank: rank}
+}
+
+func swapColumns(f *Dense, a, b int) {
+	for i := 0; i < f.Rows; i++ {
+		row := f.Row(i)
+		row[a], row[b] = row[b], row[a]
+	}
+}
+
+// R returns the Rank-by-n upper-trapezoidal factor (in pivoted column order).
+func (c *CPQR) R() *Dense {
+	r := NewDense(c.Rank, c.Fac.Cols)
+	for i := 0; i < c.Rank; i++ {
+		for j := i; j < c.Fac.Cols; j++ {
+			r.Set(i, j, c.Fac.At(i, j))
+		}
+	}
+	return r
+}
+
+// Q returns the thin m-by-Rank orthonormal factor.
+func (c *CPQR) Q() *Dense {
+	m, r := c.Fac.Rows, c.Rank
+	q := NewDense(m, r)
+	for i := 0; i < r; i++ {
+		q.Set(i, i, 1)
+	}
+	for k := r - 1; k >= 0; k-- {
+		tau := c.Tau[k]
+		if tau == 0 {
+			continue
+		}
+		for j := 0; j < r; j++ {
+			w := q.At(k, j)
+			for i := k + 1; i < m; i++ {
+				w += c.Fac.At(i, k) * q.At(i, j)
+			}
+			w *= tau
+			q.Set(k, j, q.At(k, j)-w)
+			for i := k + 1; i < m; i++ {
+				q.Set(i, j, q.At(i, j)-w*c.Fac.At(i, k))
+			}
+		}
+	}
+	return q
+}
+
+// InterpCoeffs solves R11 X = R12 for the coefficient block that expresses
+// the non-pivot columns in terms of the pivot columns. The result has shape
+// Rank-by-(n-Rank); column k corresponds to original column Perm[Rank+k].
+func (c *CPQR) InterpCoeffs() *Dense {
+	r, n := c.Rank, c.Fac.Cols
+	x := NewDense(r, n-r)
+	col := make([]float64, r)
+	for k := 0; k < n-r; k++ {
+		for i := 0; i < r; i++ {
+			col[i] = c.Fac.At(i, r+k)
+		}
+		solveUpperInPlace(c.Fac, col)
+		for i := 0; i < r; i++ {
+			x.Set(i, k, col[i])
+		}
+	}
+	return x
+}
+
+// CheckShapes panics with a descriptive message if the factorization's
+// internal invariants are violated. Used by tests.
+func (c *CPQR) CheckShapes() {
+	if len(c.Tau) != c.Rank {
+		panic(fmt.Sprintf("mat: cpqr tau length %d != rank %d", len(c.Tau), c.Rank))
+	}
+	if len(c.Perm) != c.Fac.Cols {
+		panic(fmt.Sprintf("mat: cpqr perm length %d != cols %d", len(c.Perm), c.Fac.Cols))
+	}
+}

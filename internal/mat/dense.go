@@ -1,0 +1,390 @@
+// Package mat provides the dense linear-algebra substrate used by the
+// hierarchical-matrix construction: a row-major dense matrix type, blocked
+// matrix multiplication, Householder QR, column-pivoted (rank-revealing) QR,
+// row interpolative decomposition, one-sided Jacobi SVD, Cholesky, and
+// triangular solves.
+//
+// The package is self-contained (standard library only) and tuned for the
+// small-to-medium matrices that arise per tree node (tens to a few thousand
+// rows): loops are cache-blocked and bounds checks hoisted, but no assembly
+// or unsafe code is used.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix. The zero value is an empty 0x0 matrix.
+//
+// Data is laid out so that element (i, j) lives at Data[i*Cols+j]. The
+// backing slice is exactly Rows*Cols long; there are no strided views, which
+// keeps aliasing rules trivial.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewDense returns a zeroed r-by-c matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// NewDenseData wraps an existing backing slice as an r-by-c matrix.
+// The slice is used directly, not copied; len(data) must be r*c.
+func NewDenseData(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: data length %d does not match %dx%d", len(data), r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Data: data}
+}
+
+// At returns the element at row i, column j.
+func (a *Dense) At(i, j int) float64 { return a.Data[i*a.Cols+j] }
+
+// Set assigns v to the element at row i, column j.
+func (a *Dense) Set(i, j int, v float64) { a.Data[i*a.Cols+j] = v }
+
+// Row returns the slice backing row i (aliasing the matrix).
+func (a *Dense) Row(i int) []float64 { return a.Data[i*a.Cols : (i+1)*a.Cols] }
+
+// Clone returns a deep copy of a.
+func (a *Dense) Clone() *Dense {
+	b := NewDense(a.Rows, a.Cols)
+	copy(b.Data, a.Data)
+	return b
+}
+
+// Reset zeroes every element in place.
+func (a *Dense) Reset() {
+	for i := range a.Data {
+		a.Data[i] = 0
+	}
+}
+
+// Reshape reuses a's backing storage for an r-by-c matrix, growing the
+// backing slice only when needed, and returns a. The element values after a
+// reshape are unspecified; callers that need zeros should call Reset.
+func (a *Dense) Reshape(r, c int) *Dense {
+	n := r * c
+	if cap(a.Data) < n {
+		a.Data = make([]float64, n)
+	}
+	a.Data = a.Data[:n]
+	a.Rows, a.Cols = r, c
+	return a
+}
+
+// T returns a newly allocated transpose of a.
+func (a *Dense) T() *Dense {
+	t := NewDense(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// SubCopy returns a copy of the rectangle [r0, r1) x [c0, c1).
+func (a *Dense) SubCopy(r0, r1, c0, c1 int) *Dense {
+	if r0 < 0 || r1 > a.Rows || c0 < 0 || c1 > a.Cols || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("mat: sub [%d:%d, %d:%d) out of range for %dx%d", r0, r1, c0, c1, a.Rows, a.Cols))
+	}
+	s := NewDense(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(s.Row(i-r0), a.Row(i)[c0:c1])
+	}
+	return s
+}
+
+// PickRows returns a copy of a's rows selected by idx, in order.
+func (a *Dense) PickRows(idx []int) *Dense {
+	p := NewDense(len(idx), a.Cols)
+	for k, i := range idx {
+		copy(p.Row(k), a.Row(i))
+	}
+	return p
+}
+
+// Scale multiplies every element by s in place and returns a.
+func (a *Dense) Scale(s float64) *Dense {
+	for i := range a.Data {
+		a.Data[i] *= s
+	}
+	return a
+}
+
+// Add accumulates b into a element-wise in place and returns a.
+func (a *Dense) Add(b *Dense) *Dense {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: add shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+	return a
+}
+
+// Sub subtracts b from a element-wise in place and returns a.
+func (a *Dense) Sub(b *Dense) *Dense {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: sub shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for i, v := range b.Data {
+		a.Data[i] -= v
+	}
+	return a
+}
+
+// Eye returns the n-by-n identity matrix.
+func Eye(n int) *Dense {
+	e := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		e.Data[i*n+i] = 1
+	}
+	return e
+}
+
+// FrobNorm returns the Frobenius norm of a, guarding against overflow by
+// scaling with the largest magnitude entry.
+func (a *Dense) FrobNorm() float64 {
+	maxAbs := 0.0
+	for _, v := range a.Data {
+		if w := math.Abs(v); w > maxAbs {
+			maxAbs = w
+		}
+	}
+	if maxAbs == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range a.Data {
+		w := v / maxAbs
+		sum += w * w
+	}
+	return maxAbs * math.Sqrt(sum)
+}
+
+// MaxAbs returns the largest absolute entry of a.
+func (a *Dense) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range a.Data {
+		if w := math.Abs(v); w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// Equal reports whether a and b have the same shape and every pair of
+// entries differs by at most tol.
+func (a *Dense) Equal(b *Dense, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.Data {
+		if math.Abs(v-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small matrices for debugging; large matrices are summarized.
+func (a *Dense) String() string {
+	if a.Rows*a.Cols > 100 {
+		return fmt.Sprintf("Dense{%dx%d, |.|F=%.3g}", a.Rows, a.Cols, a.FrobNorm())
+	}
+	s := fmt.Sprintf("Dense %dx%d\n", a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			s += fmt.Sprintf("% .4e ", a.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// mulBlock is the cache-block edge for Mul.
+const mulBlock = 64
+
+// Mul returns the product a*b as a new matrix.
+//
+// The kernel is the classic ikj loop order with row reuse: for each row of a
+// it accumulates scaled rows of b, which keeps all inner accesses contiguous.
+func Mul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: mul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewDense(a.Rows, b.Cols)
+	MulTo(c, a, b)
+	return c
+}
+
+// MulTo computes c = a*b into an existing matrix, which must have the right
+// shape. c must not alias a or b.
+func MulTo(c, a, b *Dense) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: mulTo shape mismatch c=%dx%d a=%dx%d b=%dx%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c.Reset()
+	n := b.Cols
+	for k0 := 0; k0 < a.Cols; k0 += mulBlock {
+		k1 := min(k0+mulBlock, a.Cols)
+		for i := 0; i < a.Rows; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for k := k0; k < k1; k++ {
+				aik := arow[k]
+				if aik == 0 {
+					continue
+				}
+				brow := b.Data[k*n : k*n+n]
+				for j, v := range brow {
+					crow[j] += aik * v
+				}
+			}
+		}
+	}
+}
+
+// MulVec returns a*x as a new vector.
+func MulVec(a *Dense, x []float64) []float64 {
+	y := make([]float64, a.Rows)
+	MulVecTo(y, a, x)
+	return y
+}
+
+// MulVecTo computes y = a*x. y must have length a.Rows and x length a.Cols;
+// y must not alias x.
+func MulVecTo(y []float64, a *Dense, x []float64) {
+	if len(x) != a.Cols || len(y) != a.Rows {
+		panic(fmt.Sprintf("mat: mulvec shape mismatch %dx%d * %d -> %d", a.Rows, a.Cols, len(x), len(y)))
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// MulVecAdd computes y += a*x with the same shape rules as MulVecTo.
+func MulVecAdd(y []float64, a *Dense, x []float64) {
+	if len(x) != a.Cols || len(y) != a.Rows {
+		panic(fmt.Sprintf("mat: mulvecadd shape mismatch %dx%d * %d -> %d", a.Rows, a.Cols, len(x), len(y)))
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] += s
+	}
+}
+
+// MulVecAddRange computes y += a[r0:r1, :] * x for the contiguous row block
+// [r0, r1) of a. y must have length r1-r0 and x length a.Cols. It lets
+// callers apply one child's transfer block without materializing a
+// submatrix.
+func MulVecAddRange(y []float64, a *Dense, r0, r1 int, x []float64) {
+	if len(x) != a.Cols || len(y) != r1-r0 || r0 < 0 || r1 > a.Rows {
+		panic(fmt.Sprintf("mat: mulvecaddrange shape mismatch rows [%d,%d) of %dx%d, x %d, y %d",
+			r0, r1, a.Rows, a.Cols, len(x), len(y)))
+	}
+	for i := r0; i < r1; i++ {
+		row := a.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i-r0] += s
+	}
+}
+
+// MulTVecAddRange computes y += a[r0:r1, :]ᵀ * x for the contiguous row
+// block [r0, r1) of a. y must have length a.Cols and x length r1-r0.
+func MulTVecAddRange(y []float64, a *Dense, r0, r1 int, x []float64) {
+	if len(y) != a.Cols || len(x) != r1-r0 || r0 < 0 || r1 > a.Rows {
+		panic(fmt.Sprintf("mat: multvecaddrange shape mismatch rows [%d,%d) of %dx%d, x %d, y %d",
+			r0, r1, a.Rows, a.Cols, len(x), len(y)))
+	}
+	for i := r0; i < r1; i++ {
+		xi := x[i-r0]
+		if xi == 0 {
+			continue
+		}
+		row := a.Row(i)
+		for j, v := range row {
+			y[j] += xi * v
+		}
+	}
+}
+
+// MulTVecAdd computes y += aᵀ*x, i.e. y[j] += Σ_i a[i,j] x[i], without
+// materializing the transpose. y must have length a.Cols, x length a.Rows.
+func MulTVecAdd(y []float64, a *Dense, x []float64) {
+	if len(x) != a.Rows || len(y) != a.Cols {
+		panic(fmt.Sprintf("mat: multvecadd shape mismatch %dx%d^T * %d -> %d", a.Rows, a.Cols, len(x), len(y)))
+	}
+	for i := 0; i < a.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := a.Row(i)
+		for j, v := range row {
+			y[j] += xi * v
+		}
+	}
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x with overflow guarding.
+func Norm2(x []float64) float64 {
+	maxAbs := 0.0
+	for _, v := range x {
+		if w := math.Abs(v); w > maxAbs {
+			maxAbs = w
+		}
+	}
+	if maxAbs == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range x {
+		w := v / maxAbs
+		sum += w * w
+	}
+	return maxAbs * math.Sqrt(sum)
+}
+
+// Axpy computes y += alpha*x.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}

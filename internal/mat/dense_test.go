@@ -1,0 +1,269 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randDense returns an r-by-c matrix with entries drawn from rng in [-1, 1).
+func randDense(rng *rand.Rand, r, c int) *Dense {
+	a := NewDense(r, c)
+	for i := range a.Data {
+		a.Data[i] = 2*rng.Float64() - 1
+	}
+	return a
+}
+
+// randLowRank returns an r-by-c matrix of exact rank k (given k <= min(r,c)).
+func randLowRank(rng *rand.Rand, r, c, k int) *Dense {
+	u := randDense(rng, r, k)
+	v := randDense(rng, k, c)
+	return Mul(u, v)
+}
+
+func TestNewDenseShapes(t *testing.T) {
+	a := NewDense(3, 4)
+	if a.Rows != 3 || a.Cols != 4 || len(a.Data) != 12 {
+		t.Fatalf("bad shape: %dx%d len %d", a.Rows, a.Cols, len(a.Data))
+	}
+	b := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	if b.At(1, 0) != 3 {
+		t.Fatalf("At(1,0)=%g want 3", b.At(1, 0))
+	}
+	b.Set(0, 1, 9)
+	if b.At(0, 1) != 9 {
+		t.Fatalf("Set did not stick")
+	}
+}
+
+func TestNewDenseDataLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad data length")
+		}
+	}()
+	NewDenseData(2, 3, []float64{1, 2, 3})
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randDense(rng, 5, 3)
+	at := a.T()
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if at.At(j, i) != a.At(i, j) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	att := at.T()
+	if !att.Equal(a, 0) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestSubCopyAndPickRows(t *testing.T) {
+	a := NewDenseData(3, 3, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	s := a.SubCopy(1, 3, 0, 2)
+	want := NewDenseData(2, 2, []float64{4, 5, 7, 8})
+	if !s.Equal(want, 0) {
+		t.Fatalf("SubCopy got %v", s)
+	}
+	p := a.PickRows([]int{2, 0})
+	wantP := NewDenseData(2, 3, []float64{7, 8, 9, 1, 2, 3})
+	if !p.Equal(wantP, 0) {
+		t.Fatalf("PickRows got %v", p)
+	}
+}
+
+func TestMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		m := 1 + rng.Intn(40)
+		k := 1 + rng.Intn(90) // exceed mulBlock sometimes
+		n := 1 + rng.Intn(40)
+		a := randDense(rng, m, k)
+		b := randDense(rng, k, n)
+		got := Mul(a, b)
+		want := NewDense(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for l := 0; l < k; l++ {
+					s += a.At(i, l) * b.At(l, j)
+				}
+				want.Set(i, j, s)
+			}
+		}
+		if !got.Equal(want, 1e-12*float64(k)) {
+			t.Fatalf("trial %d: blocked mul disagrees with naive", trial)
+		}
+	}
+}
+
+func TestMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	Mul(NewDense(2, 3), NewDense(2, 3))
+}
+
+func TestMulVecVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randDense(rng, 7, 4)
+	x := make([]float64, 4)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := MulVec(a, x)
+	// y2 via Mul with a column matrix.
+	xc := NewDenseData(4, 1, append([]float64(nil), x...))
+	y2 := Mul(a, xc)
+	for i := range y {
+		if math.Abs(y[i]-y2.At(i, 0)) > 1e-13 {
+			t.Fatalf("MulVec mismatch at %d", i)
+		}
+	}
+	// MulVecAdd accumulates.
+	acc := make([]float64, 7)
+	MulVecAdd(acc, a, x)
+	MulVecAdd(acc, a, x)
+	for i := range acc {
+		if math.Abs(acc[i]-2*y[i]) > 1e-12 {
+			t.Fatalf("MulVecAdd mismatch at %d", i)
+		}
+	}
+	// MulTVecAdd equals transpose product.
+	z := make([]float64, 7)
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	gt := make([]float64, 4)
+	MulTVecAdd(gt, a, z)
+	want := MulVec(a.T(), z)
+	for i := range gt {
+		if math.Abs(gt[i]-want[i]) > 1e-12 {
+			t.Fatalf("MulTVecAdd mismatch at %d: %g vs %g", i, gt[i], want[i])
+		}
+	}
+}
+
+func TestMatvecLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 1 + r.Intn(20)
+		n := 1 + r.Intn(20)
+		a := randDense(r, m, n)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = r.NormFloat64()
+		}
+		alpha := r.NormFloat64()
+		// A(alpha x + y) == alpha Ax + Ay
+		xy := make([]float64, n)
+		for i := range xy {
+			xy[i] = alpha*x[i] + y[i]
+		}
+		lhs := MulVec(a, xy)
+		ax := MulVec(a, x)
+		ay := MulVec(a, y)
+		for i := range lhs {
+			if math.Abs(lhs[i]-(alpha*ax[i]+ay[i])) > 1e-10*(1+math.Abs(lhs[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormsAndDot(t *testing.T) {
+	x := []float64{3, 4}
+	if got := Norm2(x); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("Norm2 = %g want 5", got)
+	}
+	if Norm2(nil) != 0 {
+		t.Fatal("Norm2(nil) != 0")
+	}
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %g want 32", got)
+	}
+	a := NewDenseData(1, 2, []float64{3, 4})
+	if got := a.FrobNorm(); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("FrobNorm = %g want 5", got)
+	}
+	// Overflow guard: huge entries should not produce +Inf.
+	h := NewDenseData(1, 2, []float64{1e300, 1e300})
+	if math.IsInf(h.FrobNorm(), 0) {
+		t.Fatal("FrobNorm overflowed")
+	}
+}
+
+func TestAxpyAddSubScale(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	b := NewDenseData(2, 2, []float64{4, 3, 2, 1})
+	c := a.Clone().Add(b)
+	if !c.Equal(NewDenseData(2, 2, []float64{5, 5, 5, 5}), 0) {
+		t.Fatal("Add wrong")
+	}
+	d := a.Clone().Sub(b)
+	if !d.Equal(NewDenseData(2, 2, []float64{-3, -1, 1, 3}), 0) {
+		t.Fatal("Sub wrong")
+	}
+	e := a.Clone().Scale(2)
+	if !e.Equal(NewDenseData(2, 2, []float64{2, 4, 6, 8}), 0) {
+		t.Fatal("Scale wrong")
+	}
+	y := []float64{1, 1}
+	Axpy(2, []float64{1, 2}, y)
+	if y[0] != 3 || y[1] != 5 {
+		t.Fatalf("Axpy got %v", y)
+	}
+}
+
+func TestReshapeReusesStorage(t *testing.T) {
+	a := NewDense(4, 4)
+	d := &a.Data[0]
+	a.Reshape(2, 3)
+	if a.Rows != 2 || a.Cols != 3 || len(a.Data) != 6 {
+		t.Fatalf("reshape shape wrong: %dx%d", a.Rows, a.Cols)
+	}
+	if &a.Data[0] != d {
+		t.Fatal("reshape should reuse storage when shrinking")
+	}
+	a.Reshape(10, 10)
+	if len(a.Data) != 100 {
+		t.Fatal("reshape failed to grow")
+	}
+}
+
+func TestEye(t *testing.T) {
+	e := Eye(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if e.At(i, j) != want {
+				t.Fatalf("Eye(3)[%d,%d]=%g", i, j, e.At(i, j))
+			}
+		}
+	}
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	if NewDense(2, 2).Equal(NewDense(2, 3), 1) {
+		t.Fatal("Equal must reject shape mismatch")
+	}
+}

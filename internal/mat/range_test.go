@@ -1,0 +1,74 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMulVecAddRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	a := randDense(rng, 9, 4)
+	x := make([]float64, 4)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	full := MulVec(a, x)
+	for _, rg := range [][2]int{{0, 9}, {2, 5}, {4, 4}, {8, 9}} {
+		y := make([]float64, rg[1]-rg[0])
+		for i := range y {
+			y[i] = 1 // verify accumulation semantics
+		}
+		MulVecAddRange(y, a, rg[0], rg[1], x)
+		for i := range y {
+			if math.Abs(y[i]-(1+full[rg[0]+i])) > 1e-13 {
+				t.Fatalf("range [%d,%d): row %d got %g want %g", rg[0], rg[1], i, y[i], 1+full[rg[0]+i])
+			}
+		}
+	}
+}
+
+func TestMulTVecAddRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	a := randDense(rng, 9, 4)
+	x := make([]float64, 9)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for _, rg := range [][2]int{{0, 9}, {3, 7}, {5, 5}} {
+		y := make([]float64, 4)
+		MulTVecAddRange(y, a, rg[0], rg[1], x[rg[0]:rg[1]])
+		// Reference: transpose of the sub-block times the sub-vector.
+		want := make([]float64, 4)
+		for i := rg[0]; i < rg[1]; i++ {
+			for j := 0; j < 4; j++ {
+				want[j] += a.At(i, j) * x[i]
+			}
+		}
+		for j := range want {
+			if math.Abs(y[j]-want[j]) > 1e-13 {
+				t.Fatalf("range [%d,%d): col %d got %g want %g", rg[0], rg[1], j, y[j], want[j])
+			}
+		}
+	}
+}
+
+func TestRangeShapePanics(t *testing.T) {
+	a := NewDense(5, 3)
+	for name, fn := range map[string]func(){
+		"mulvecaddrange-rows":  func() { MulVecAddRange(make([]float64, 2), a, 0, 3, make([]float64, 3)) },
+		"mulvecaddrange-x":     func() { MulVecAddRange(make([]float64, 3), a, 0, 3, make([]float64, 2)) },
+		"mulvecaddrange-range": func() { MulVecAddRange(make([]float64, 3), a, 3, 6, make([]float64, 3)) },
+		"multvecaddrange-y":    func() { MulTVecAddRange(make([]float64, 2), a, 0, 3, make([]float64, 3)) },
+		"multvecaddrange-x":    func() { MulTVecAddRange(make([]float64, 3), a, 0, 3, make([]float64, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,83 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L Lᵀ.
+type Cholesky struct {
+	L *Dense
+}
+
+// NewCholesky factorizes the symmetric positive definite matrix a. It
+// returns an error if a is not square or a non-positive pivot is found.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("mat: cholesky of non-square %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			li := l.Row(i)
+			lj := l.Row(j)
+			for k := 0; k < j; k++ {
+				s -= li[k] * lj[k]
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("mat: cholesky pivot %d not positive (%g)", i, s)
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return &Cholesky{L: l}, nil
+}
+
+// Solve solves A x = b and returns x. b is not modified.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	n := c.L.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: cholesky solve length %d want %d", len(b), n))
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	SolveLowerInPlace(c.L, x)
+	SolveUpperTransposedInPlace(c.L, x)
+	return x
+}
+
+// SolveLowerInPlace solves L x = b in place for lower-triangular L.
+func SolveLowerInPlace(l *Dense, x []float64) {
+	n := len(x)
+	for i := 0; i < n; i++ {
+		s := x[i]
+		row := l.Row(i)
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+}
+
+// SolveUpperTransposedInPlace solves Lᵀ x = b in place given lower L.
+func SolveUpperTransposedInPlace(l *Dense, x []float64) {
+	n := len(x)
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= l.At(j, i) * x[j]
+		}
+		x[i] = s / l.At(i, i)
+	}
+}
+
+// SolveUpperInPlace solves U x = b in place for an upper-triangular matrix
+// stored in (at least) the upper triangle of u. Exposed for tests.
+func SolveUpperInPlace(u *Dense, x []float64) { solveUpperInPlace(u, x) }

@@ -1,0 +1,95 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSPD returns a random symmetric positive definite n-by-n matrix.
+func randSPD(rng *rand.Rand, n int) *Dense {
+	b := randDense(rng, n, n)
+	a := Mul(b, b.T())
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	return a
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 6; trial++ {
+		n := 2 + rng.Intn(20)
+		a := randSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := MulVec(a, want)
+		got := ch.Solve(b)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				t.Fatalf("trial %d: x[%d]=%g want %g", trial, i, got[i], want[i])
+			}
+		}
+		// L Lᵀ = A.
+		if !Mul(ch.L, ch.L.T()).Equal(a, 1e-9*a.MaxAbs()) {
+			t.Fatalf("trial %d: LLᵀ != A", trial)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := NewCholesky(a); err == nil {
+		t.Fatal("expected error for indefinite matrix")
+	}
+	if _, err := NewCholesky(NewDense(2, 3)); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestTriangularSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	n := 9
+	l := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			l.Set(i, j, rng.NormFloat64())
+		}
+		l.Set(i, i, 1+rng.Float64())
+	}
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+
+	b := MulVec(l, want)
+	SolveLowerInPlace(l, b)
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-10 {
+			t.Fatalf("lower solve x[%d]=%g want %g", i, b[i], want[i])
+		}
+	}
+
+	bt := MulVec(l.T(), want)
+	SolveUpperTransposedInPlace(l, bt)
+	for i := range want {
+		if math.Abs(bt[i]-want[i]) > 1e-10 {
+			t.Fatalf("upper-transposed solve x[%d]=%g want %g", i, bt[i], want[i])
+		}
+	}
+
+	u := l.T()
+	bu := MulVec(u, want)
+	SolveUpperInPlace(u, bu)
+	for i := range want {
+		if math.Abs(bu[i]-want[i]) > 1e-10 {
+			t.Fatalf("upper solve x[%d]=%g want %g", i, bu[i], want[i])
+		}
+	}
+}

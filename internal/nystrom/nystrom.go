@@ -1,0 +1,142 @@
+// Package nystrom implements the global Nyström low-rank approximation
+// (paper §II-A2, Williams & Seeger):
+//
+//	K(X, X) ≈ C W Cᵀ,  C = K(X, S),  W = (K(S, S) + ridge·I)⁺
+//
+// for a landmark subset S selected by any point sampler. It is the
+// background method the paper's hierarchical construction builds on: the
+// data-driven H² matrix can be seen as applying this idea blockwise with
+// hierarchically shared landmark sets. The package exists both as a usable
+// global low-rank approximator (effective when the kernel matrix is
+// globally low rank, e.g. wide Gaussians) and as the reference point for
+// sampler-quality comparisons.
+package nystrom
+
+import (
+	"fmt"
+	"math"
+
+	"h2ds/internal/kernel"
+	"h2ds/internal/mat"
+	"h2ds/internal/pointset"
+	"h2ds/internal/sample"
+)
+
+// Approx is a rank-|S| global Nyström approximation of a kernel matrix.
+type Approx struct {
+	// Landmarks holds the selected point indices S.
+	Landmarks []int
+	// C is the n-by-|S| cross matrix K(X, S).
+	C *mat.Dense
+	// W is the |S|-by-|S| regularized pseudo-inverse of K(S, S).
+	W *mat.Dense
+}
+
+// Config tunes the approximation.
+type Config struct {
+	// Rank is the number of landmarks m (required, > 0).
+	Rank int
+	// Sampler selects the landmarks (nil = anchor net).
+	Sampler sample.Sampler
+	// Ridge regularizes the landmark Gram matrix before inversion
+	// (0 = 1e-12 relative to its largest entry).
+	Ridge float64
+	// PInvTol truncates the pseudo-inverse spectrum (0 = machine default).
+	PInvTol float64
+}
+
+// New builds a Nyström approximation of K over pts.
+func New(pts *pointset.Points, k kernel.Pairwise, cfg Config) (*Approx, error) {
+	n := pts.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("nystrom: empty point set")
+	}
+	if cfg.Rank <= 0 {
+		return nil, fmt.Errorf("nystrom: rank must be positive, got %d", cfg.Rank)
+	}
+	if cfg.Sampler == nil {
+		cfg.Sampler = sample.AnchorNet{}
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	s := cfg.Sampler.Sample(pts, all, cfg.Rank)
+	if len(s) == 0 {
+		return nil, fmt.Errorf("nystrom: sampler returned no landmarks")
+	}
+
+	c := kernel.NewBlock(k, pts, all, pts, s)
+	kss := kernel.NewBlock(k, pts, s, pts, s)
+	ridge := cfg.Ridge
+	if ridge <= 0 {
+		ridge = 1e-12 * kss.MaxAbs()
+	}
+	for i := 0; i < kss.Rows; i++ {
+		kss.Set(i, i, kss.At(i, i)+ridge)
+	}
+	w := mat.NewSVD(kss).PInv(cfg.PInvTol)
+	return &Approx{Landmarks: s, C: c, W: w}, nil
+}
+
+// Rank returns the number of landmarks actually selected.
+func (a *Approx) Rank() int { return len(a.Landmarks) }
+
+// Apply computes y = C W Cᵀ b — the approximate kernel matvec in
+// O(n·rank).
+func (a *Approx) Apply(b []float64) []float64 {
+	y := make([]float64, a.C.Rows)
+	a.ApplyTo(y, b)
+	return y
+}
+
+// ApplyTo computes y = C W Cᵀ b into y.
+func (a *Approx) ApplyTo(y, b []float64) {
+	if len(y) != a.C.Rows || len(b) != a.C.Rows {
+		panic(fmt.Sprintf("nystrom: apply length mismatch y=%d b=%d n=%d", len(y), len(b), a.C.Rows))
+	}
+	t1 := make([]float64, a.C.Cols)
+	mat.MulTVecAdd(t1, a.C, b)
+	t2 := mat.MulVec(a.W, t1)
+	for i := range y {
+		y[i] = 0
+	}
+	mat.MulVecAdd(y, a.C, t2)
+}
+
+// RelError estimates the relative Frobenius error of the approximation on
+// `rows` exact rows (dense evaluation; intended for moderate n).
+func (a *Approx) RelError(pts *pointset.Points, k kernel.Pairwise, rows []int) float64 {
+	n := pts.Len()
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	var num, den float64
+	t1 := make([]float64, a.C.Cols)
+	for _, i := range rows {
+		exact := kernel.NewBlock(k, pts, []int{i}, pts, all)
+		// Approximate row i: C[i,:] W Cᵀ.
+		for j := range t1 {
+			t1[j] = 0
+		}
+		ci := a.C.Row(i)
+		wci := mat.MulVec(a.W.T(), ci)
+		approx := make([]float64, n)
+		mat.MulVecAdd(approx, a.C, wci)
+		for j := 0; j < n; j++ {
+			d := exact.At(0, j) - approx[j]
+			num += d * d
+			den += exact.At(0, j) * exact.At(0, j)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}
+
+// Bytes returns the deterministic memory footprint of the factors.
+func (a *Approx) Bytes() int64 {
+	return int64(len(a.C.Data)+len(a.W.Data)+len(a.Landmarks))*8 + 48
+}

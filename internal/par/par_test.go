@@ -1,0 +1,73 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 7, 100, 1000} {
+			hits := make([]int32, n)
+			For(workers, n, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForWorkerIDsInRange(t *testing.T) {
+	const workers = 4
+	var bad int32
+	ForWorker(workers, 200, func(w, i int) {
+		if w < 0 || w >= workers {
+			atomic.AddInt32(&bad, 1)
+		}
+	})
+	if bad != 0 {
+		t.Fatalf("%d out-of-range worker ids", bad)
+	}
+}
+
+func TestForSingleWorkerIsSequential(t *testing.T) {
+	// With one worker the iterations must arrive in order (the fast path).
+	order := make([]int, 0, 50)
+	For(1, 50, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order violated at %d: %d", i, v)
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if Resolve(5) != 5 {
+		t.Fatal("Resolve(5)")
+	}
+	if Resolve(0) != runtime.GOMAXPROCS(0) || Resolve(-1) != runtime.GOMAXPROCS(0) {
+		t.Fatal("Resolve default")
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b int32
+	Do(2, func() { atomic.StoreInt32(&a, 1) }, func() { atomic.StoreInt32(&b, 2) })
+	if a != 1 || b != 2 {
+		t.Fatal("Do did not run all tasks")
+	}
+	Do(3) // zero tasks must not hang
+}
+
+func TestForMoreWorkersThanWork(t *testing.T) {
+	var count int32
+	For(64, 3, func(i int) { atomic.AddInt32(&count, 1) })
+	if count != 3 {
+		t.Fatalf("count %d", count)
+	}
+}

@@ -1,0 +1,153 @@
+// Package pointset provides the point-cloud substrate for the hierarchical
+// matrix library: a compact d-dimensional point container, bounding boxes,
+// and the synthetic dataset generators used throughout the paper's
+// evaluation (cube volume, sphere surface, d-dimensional hypercube, and a
+// procedural "dino"-like non-uniform surface cloud).
+package pointset
+
+import (
+	"fmt"
+	"math"
+)
+
+// Points is a set of n points in d dimensions stored row-major: point i
+// occupies Coords[i*Dim : (i+1)*Dim].
+type Points struct {
+	Dim    int
+	Coords []float64
+}
+
+// New returns an empty point set with capacity for n points in d dimensions.
+func New(n, d int) *Points {
+	return &Points{Dim: d, Coords: make([]float64, n*d)}
+}
+
+// Len returns the number of points.
+func (p *Points) Len() int {
+	if p.Dim == 0 {
+		return 0
+	}
+	return len(p.Coords) / p.Dim
+}
+
+// At returns a slice aliasing the coordinates of point i.
+func (p *Points) At(i int) []float64 {
+	return p.Coords[i*p.Dim : (i+1)*p.Dim]
+}
+
+// Subset returns a new point set containing the points selected by idx, in
+// order.
+func (p *Points) Subset(idx []int) *Points {
+	s := New(len(idx), p.Dim)
+	for k, i := range idx {
+		copy(s.At(k), p.At(i))
+	}
+	return s
+}
+
+// Append copies point x (length Dim) onto the end of p.
+func (p *Points) Append(x []float64) {
+	if len(x) != p.Dim {
+		panic(fmt.Sprintf("pointset: append dim %d want %d", len(x), p.Dim))
+	}
+	p.Coords = append(p.Coords, x...)
+}
+
+// Bytes returns the memory footprint of the coordinate storage.
+func (p *Points) Bytes() int64 { return int64(len(p.Coords)) * 8 }
+
+// Dist returns the Euclidean distance between points x and y (equal length).
+func Dist(x, y []float64) float64 {
+	return math.Sqrt(Dist2(x, y))
+}
+
+// Dist2 returns the squared Euclidean distance between x and y.
+func Dist2(x, y []float64) float64 {
+	s := 0.0
+	for i, v := range x {
+		d := v - y[i]
+		s += d * d
+	}
+	return s
+}
+
+// BBox is an axis-aligned bounding box.
+type BBox struct {
+	Min, Max []float64
+}
+
+// NewBBox computes the bounding box of the points selected by idx (or of all
+// points when idx is nil). An empty selection yields a degenerate box at the
+// origin.
+func NewBBox(p *Points, idx []int) BBox {
+	d := p.Dim
+	b := BBox{Min: make([]float64, d), Max: make([]float64, d)}
+	n := p.Len()
+	if idx != nil {
+		n = len(idx)
+	}
+	if n == 0 {
+		return b
+	}
+	first := 0
+	if idx != nil {
+		first = idx[0]
+	}
+	copy(b.Min, p.At(first))
+	copy(b.Max, p.At(first))
+	for k := 1; k < n; k++ {
+		i := k
+		if idx != nil {
+			i = idx[k]
+		}
+		x := p.At(i)
+		for j, v := range x {
+			if v < b.Min[j] {
+				b.Min[j] = v
+			}
+			if v > b.Max[j] {
+				b.Max[j] = v
+			}
+		}
+	}
+	return b
+}
+
+// Center returns the box midpoint.
+func (b BBox) Center() []float64 {
+	c := make([]float64, len(b.Min))
+	for i := range c {
+		c[i] = 0.5 * (b.Min[i] + b.Max[i])
+	}
+	return c
+}
+
+// Diameter returns the length of the box diagonal.
+func (b BBox) Diameter() float64 {
+	s := 0.0
+	for i := range b.Min {
+		d := b.Max[i] - b.Min[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// LongestAxis returns the index of the widest box dimension and its width.
+func (b BBox) LongestAxis() (axis int, width float64) {
+	for i := range b.Min {
+		if w := b.Max[i] - b.Min[i]; w > width {
+			axis, width = i, w
+		}
+	}
+	return axis, width
+}
+
+// Contains reports whether x lies inside the (closed) box.
+func (b BBox) Contains(x []float64) bool {
+	for i, v := range x {
+		if v < b.Min[i] || v > b.Max[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,280 @@
+package pointset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLenAtSubset(t *testing.T) {
+	p := Cube(10, 3, 1)
+	if p.Len() != 10 || p.Dim != 3 {
+		t.Fatalf("Len=%d Dim=%d", p.Len(), p.Dim)
+	}
+	s := p.Subset([]int{7, 2})
+	if s.Len() != 2 {
+		t.Fatalf("subset len %d", s.Len())
+	}
+	for j := 0; j < 3; j++ {
+		if s.At(0)[j] != p.At(7)[j] || s.At(1)[j] != p.At(2)[j] {
+			t.Fatal("subset copied wrong coordinates")
+		}
+	}
+}
+
+func TestAppend(t *testing.T) {
+	p := New(0, 2)
+	p.Append([]float64{1, 2})
+	p.Append([]float64{3, 4})
+	if p.Len() != 2 || p.At(1)[0] != 3 {
+		t.Fatal("append broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected dim-mismatch panic")
+		}
+	}()
+	p.Append([]float64{1})
+}
+
+func TestDist(t *testing.T) {
+	x := []float64{0, 0, 0}
+	y := []float64{1, 2, 2}
+	if got := Dist(x, y); math.Abs(got-3) > 1e-15 {
+		t.Fatalf("Dist=%g want 3", got)
+	}
+	if got := Dist2(x, y); math.Abs(got-9) > 1e-15 {
+		t.Fatalf("Dist2=%g want 9", got)
+	}
+}
+
+func TestBBox(t *testing.T) {
+	p := New(0, 2)
+	p.Append([]float64{0, 1})
+	p.Append([]float64{2, -1})
+	p.Append([]float64{1, 0})
+	b := NewBBox(p, nil)
+	if b.Min[0] != 0 || b.Min[1] != -1 || b.Max[0] != 2 || b.Max[1] != 1 {
+		t.Fatalf("bbox %v", b)
+	}
+	c := b.Center()
+	if c[0] != 1 || c[1] != 0 {
+		t.Fatalf("center %v", c)
+	}
+	if math.Abs(b.Diameter()-math.Sqrt(8)) > 1e-15 {
+		t.Fatalf("diameter %g", b.Diameter())
+	}
+	axis, w := b.LongestAxis()
+	if axis != 0 || w != 2 {
+		t.Fatalf("longest axis %d width %g", axis, w)
+	}
+	if !b.Contains([]float64{1, 0}) || b.Contains([]float64{3, 0}) {
+		t.Fatal("contains wrong")
+	}
+	// Subset bbox.
+	bs := NewBBox(p, []int{0, 2})
+	if bs.Max[0] != 1 {
+		t.Fatalf("subset bbox %v", bs)
+	}
+	// Empty box is degenerate but valid.
+	be := NewBBox(New(0, 2), nil)
+	if be.Diameter() != 0 {
+		t.Fatal("empty bbox diameter != 0")
+	}
+}
+
+func TestCubeInUnitBox(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 5} {
+		p := Cube(200, d, 42)
+		if p.Len() != 200 || p.Dim != d {
+			t.Fatalf("d=%d: bad shape", d)
+		}
+		for i := 0; i < p.Len(); i++ {
+			for _, v := range p.At(i) {
+				if v < 0 || v >= 1 {
+					t.Fatalf("d=%d: coordinate %g outside [0,1)", d, v)
+				}
+			}
+		}
+	}
+}
+
+func TestCubeDeterministic(t *testing.T) {
+	a := Cube(50, 3, 7)
+	b := Cube(50, 3, 7)
+	for i := range a.Coords {
+		if a.Coords[i] != b.Coords[i] {
+			t.Fatal("same seed must give same points")
+		}
+	}
+	c := Cube(50, 3, 8)
+	same := true
+	for i := range a.Coords {
+		if a.Coords[i] != c.Coords[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical points")
+	}
+}
+
+func TestSphereOnSurface(t *testing.T) {
+	p := Sphere(500, 3)
+	for i := 0; i < p.Len(); i++ {
+		r := Dist(p.At(i), []float64{0, 0, 0})
+		if math.Abs(r-1) > 1e-12 {
+			t.Fatalf("point %d radius %g", i, r)
+		}
+	}
+	// Rough isotropy: mean of each coordinate near zero.
+	for j := 0; j < 3; j++ {
+		s := 0.0
+		for i := 0; i < p.Len(); i++ {
+			s += p.At(i)[j]
+		}
+		if math.Abs(s/float64(p.Len())) > 0.15 {
+			t.Fatalf("coordinate %d mean %g suggests non-uniform sphere", j, s/float64(p.Len()))
+		}
+	}
+}
+
+func TestDinoShape(t *testing.T) {
+	p := Dino(2000, 5)
+	if p.Len() != 2000 || p.Dim != 3 {
+		t.Fatal("dino shape wrong")
+	}
+	b := NewBBox(p, nil)
+	// Elongated: x-extent (nose to tail) clearly exceeds y-extent (width).
+	if (b.Max[0] - b.Min[0]) < 1.5*(b.Max[1]-b.Min[1]) {
+		t.Fatalf("dino not elongated: extents %v %v", b.Max[0]-b.Min[0], b.Max[1]-b.Min[1])
+	}
+	// Non-uniformity: the bounding box volume is mostly empty. Check that a
+	// central cavity (interior of the body) still contains few points
+	// relative to uniform density.
+	vol := 1.0
+	for j := 0; j < 3; j++ {
+		vol *= b.Max[j] - b.Min[j]
+	}
+	if vol < 0.5 {
+		t.Fatalf("dino bounding volume suspiciously small: %g", vol)
+	}
+}
+
+func TestAnnulusRadii(t *testing.T) {
+	p := Annulus(300, 0.5, 1.0, 9)
+	for i := 0; i < p.Len(); i++ {
+		r := math.Hypot(p.At(i)[0], p.At(i)[1])
+		if r < 0.5-1e-12 || r > 1.0+1e-12 {
+			t.Fatalf("annulus point radius %g", r)
+		}
+	}
+}
+
+func TestCircle(t *testing.T) {
+	p := Circle(4)
+	want := [][2]float64{{1, 0}, {0, 1}, {-1, 0}, {0, -1}}
+	for i, w := range want {
+		if math.Abs(p.At(i)[0]-w[0]) > 1e-12 || math.Abs(p.At(i)[1]-w[1]) > 1e-12 {
+			t.Fatalf("circle point %d = %v want %v", i, p.At(i), w)
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	p := Grid(3, 2)
+	if p.Len() != 9 {
+		t.Fatalf("grid len %d", p.Len())
+	}
+	// Corners present.
+	found := 0
+	for i := 0; i < 9; i++ {
+		x := p.At(i)
+		if (x[0] == 0 || x[0] == 1) && (x[1] == 0 || x[1] == 1) {
+			found++
+		}
+	}
+	if found != 4 {
+		t.Fatalf("found %d corners", found)
+	}
+	// Degenerate single-point grid.
+	if Grid(1, 3).Len() != 1 {
+		t.Fatal("grid(1,3) size")
+	}
+}
+
+func TestNamed(t *testing.T) {
+	for _, name := range []string{"cube", "sphere", "dino", "ball", "mixture"} {
+		p, ok := Named(name, 100, 3, 1)
+		if !ok || p.Len() != 100 {
+			t.Fatalf("Named(%q) failed", name)
+		}
+	}
+	if _, ok := Named("klein-bottle", 10, 3, 1); ok {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestBallInUnitBall(t *testing.T) {
+	for _, d := range []int{2, 3, 5} {
+		p := Ball(400, d, 11)
+		origin := make([]float64, d)
+		interior := 0
+		for i := 0; i < p.Len(); i++ {
+			r := Dist(p.At(i), origin)
+			if r > 1+1e-12 {
+				t.Fatalf("d=%d: point radius %g outside unit ball", d, r)
+			}
+			if r < 0.5 {
+				interior++
+			}
+		}
+		// Volume fraction inside r=0.5 is (1/2)^d; check the sampler is not
+		// surface-biased (allow generous slack).
+		want := math.Pow(0.5, float64(d)) * 400
+		if float64(interior) < want/3-3 || float64(interior) > 3*want+10 {
+			t.Fatalf("d=%d: %d interior points, expected about %.0f", d, interior, want)
+		}
+	}
+}
+
+func TestGaussianMixtureClusters(t *testing.T) {
+	p := GaussianMixture(1000, 3, 5, 0.02, 13)
+	if p.Len() != 1000 || p.Dim != 3 {
+		t.Fatal("mixture shape wrong")
+	}
+	// Strong non-uniformity: the average nearest-of-100 sampled pairwise
+	// distance must be far below the uniform-cube scale.
+	small := 0
+	for i := 0; i < 100; i++ {
+		best := math.Inf(1)
+		for j := 0; j < 1000; j++ {
+			if i == j {
+				continue
+			}
+			if d := Dist(p.At(i), p.At(j)); d < best {
+				best = d
+			}
+		}
+		if best < 0.02 {
+			small++
+		}
+	}
+	if small < 50 {
+		t.Fatalf("only %d of 100 points have a very close neighbor; not clustered", small)
+	}
+}
+
+func TestDistSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := []float64{ax, ay, az}
+		b := []float64{bx, by, bz}
+		d1 := Dist(a, b)
+		d2 := Dist(b, a)
+		return d1 == d2 && d1 >= 0 && Dist(a, a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

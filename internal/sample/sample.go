@@ -1,0 +1,251 @@
+// Package sample implements the data-driven sampling machinery of the
+// paper: point-subset samplers (the anchor-net Nyström sampler of ref [25],
+// plus farthest-point and uniform-random baselines for ablation) and the
+// hierarchical sampling sweep of Algorithm 1 that produces the farfield
+// surrogate sets Y*_i for every tree node in O(n) total work.
+//
+// Sampling operates on point indices only and never evaluates the kernel —
+// the property that lets one hierarchical sampling be amortized across many
+// kernels (paper §VI-A).
+package sample
+
+import (
+	"math"
+	"math/rand"
+
+	"h2ds/internal/par"
+	"h2ds/internal/pointset"
+	"h2ds/internal/tree"
+)
+
+// Sampler selects a representative subset of at most m points from a
+// candidate set. cand holds indices into pts; the result is a subset of
+// cand (ordering chosen by the sampler, duplicates removed).
+type Sampler interface {
+	Sample(pts *pointset.Points, cand []int, m int) []int
+	Name() string
+}
+
+// AnchorNet is the paper's sampler (§III-D): it lays a low-discrepancy
+// lattice (Halton sequence) over the bounding box of the candidate set and
+// keeps, for each lattice anchor, the nearest candidate point. The lattice
+// is dimension independent, which is what makes the data-driven method
+// viable beyond three dimensions.
+type AnchorNet struct{}
+
+// Name implements Sampler.
+func (AnchorNet) Name() string { return "anchornet" }
+
+// halton returns the i-th element (1-based internally) of the van der
+// Corput sequence in the given base.
+func halton(i, base int) float64 {
+	f := 1.0
+	r := 0.0
+	for i > 0 {
+		f /= float64(base)
+		r += f * float64(i%base)
+		i /= base
+	}
+	return r
+}
+
+// haltonBases are the first primes, one per dimension.
+var haltonBases = []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43}
+
+// Sample implements Sampler.
+func (AnchorNet) Sample(pts *pointset.Points, cand []int, m int) []int {
+	if len(cand) <= m {
+		return append([]int(nil), cand...)
+	}
+	d := pts.Dim
+	box := pointset.NewBBox(pts, cand)
+	widths := make([]float64, d)
+	for j := 0; j < d; j++ {
+		widths[j] = box.Max[j] - box.Min[j]
+	}
+	anchor := make([]float64, d)
+	chosen := make([]int, 0, m)
+	taken := make(map[int]bool, m)
+	for a := 1; len(chosen) < m; a++ {
+		for j := 0; j < d; j++ {
+			base := haltonBases[j%len(haltonBases)]
+			anchor[j] = box.Min[j] + widths[j]*halton(a, base)
+		}
+		// Nearest candidate to this anchor.
+		best, bestD := -1, math.Inf(1)
+		for _, i := range cand {
+			if dd := pointset.Dist2(anchor, pts.At(i)); dd < bestD {
+				best, bestD = i, dd
+			}
+		}
+		if !taken[best] {
+			taken[best] = true
+			chosen = append(chosen, best)
+		}
+		// Candidates can be exhausted by duplicates faster than anchors; the
+		// a > 4m guard bounds the scan when many anchors collapse onto the
+		// same few points (e.g. tight clusters).
+		if a > 4*m {
+			break
+		}
+	}
+	return chosen
+}
+
+// FarthestPoint is the classic farthest-point (k-center) sampler: start
+// from the candidate nearest the box center, then greedily add the point
+// maximizing the minimum distance to the selected set.
+type FarthestPoint struct{}
+
+// Name implements Sampler.
+func (FarthestPoint) Name() string { return "fps" }
+
+// Sample implements Sampler.
+func (FarthestPoint) Sample(pts *pointset.Points, cand []int, m int) []int {
+	if len(cand) <= m {
+		return append([]int(nil), cand...)
+	}
+	box := pointset.NewBBox(pts, cand)
+	center := box.Center()
+	first, bestD := 0, math.Inf(1)
+	for k, i := range cand {
+		if dd := pointset.Dist2(center, pts.At(i)); dd < bestD {
+			first, bestD = k, dd
+		}
+	}
+	chosen := make([]int, 0, m)
+	chosen = append(chosen, cand[first])
+	minD := make([]float64, len(cand))
+	for k, i := range cand {
+		minD[k] = pointset.Dist2(pts.At(cand[first]), pts.At(i))
+	}
+	for len(chosen) < m {
+		far, farD := -1, -1.0
+		for k, dd := range minD {
+			if dd > farD {
+				far, farD = k, dd
+			}
+		}
+		if farD <= 0 {
+			break // all remaining candidates coincide with selections
+		}
+		chosen = append(chosen, cand[far])
+		for k, i := range cand {
+			if dd := pointset.Dist2(pts.At(cand[far]), pts.At(i)); dd < minD[k] {
+				minD[k] = dd
+			}
+		}
+	}
+	return chosen
+}
+
+// Random is the original Nyström baseline: a uniform random subset. The
+// seed makes runs reproducible.
+type Random struct {
+	Seed int64
+}
+
+// Name implements Sampler.
+func (Random) Name() string { return "random" }
+
+// Sample implements Sampler.
+func (r Random) Sample(pts *pointset.Points, cand []int, m int) []int {
+	if len(cand) <= m {
+		return append([]int(nil), cand...)
+	}
+	// Derive a per-call seed from the candidate set so different nodes draw
+	// different (but reproducible) subsets.
+	h := r.Seed
+	for _, c := range cand[:min(len(cand), 8)] {
+		h = h*1000003 + int64(c)
+	}
+	rng := rand.New(rand.NewSource(h))
+	perm := rng.Perm(len(cand))[:m]
+	out := make([]int, m)
+	for k, p := range perm {
+		out[k] = cand[p]
+	}
+	return out
+}
+
+// Named returns a sampler by harness name ("anchornet", "fps", "random").
+func Named(name string) (Sampler, bool) {
+	switch name {
+	case "anchornet":
+		return AnchorNet{}, true
+	case "fps":
+		return FarthestPoint{}, true
+	case "random":
+		return Random{Seed: 1}, true
+	default:
+		return nil, false
+	}
+}
+
+// Hierarchy holds the output of the hierarchical sampling sweep
+// (Algorithm 1): for every node i, the self surrogate X*_i and the farfield
+// surrogate Y*_i, both as permuted point indices into tr.Points.
+type Hierarchy struct {
+	XStar [][]int
+	YStar [][]int
+}
+
+// Run executes Algorithm 1 on the tree: a bottom-to-top sweep building the
+// self surrogates X*_i and a top-to-bottom sweep building the farfield
+// surrogates Y*_i from interaction-list surrogates plus the parent's
+// inherited Y*. Nodes on a level are processed in parallel.
+//
+// budget is the per-node sample size m (the paper's O(1) node cost).
+func Run(tr *tree.Tree, s Sampler, budget, workers int) *Hierarchy {
+	n := len(tr.Nodes)
+	h := &Hierarchy{XStar: make([][]int, n), YStar: make([][]int, n)}
+
+	// Bottom-to-top: leaves sample their own points; parents sample the
+	// union of their children's samples.
+	for l := tr.Depth() - 1; l >= 0; l-- {
+		level := tr.Levels[l]
+		par.For(workers, len(level), func(k int) {
+			id := level[k]
+			nd := &tr.Nodes[id]
+			var cand []int
+			if nd.IsLeaf {
+				cand = make([]int, nd.Size())
+				for p := 0; p < nd.Size(); p++ {
+					cand[p] = nd.Start + p
+				}
+			} else {
+				for _, c := range nd.Children {
+					cand = append(cand, h.XStar[c]...)
+				}
+			}
+			h.XStar[id] = s.Sample(tr.Points, cand, budget)
+		})
+	}
+
+	// Top-to-bottom: Y*_i = Sample( ∪_{j ∈ IL(i)} X*_j  ∪  Y*_parent ).
+	for l := 0; l < tr.Depth(); l++ {
+		level := tr.Levels[l]
+		par.For(workers, len(level), func(k int) {
+			id := level[k]
+			nd := &tr.Nodes[id]
+			var cand []int
+			for _, j := range nd.Interaction {
+				cand = append(cand, h.XStar[j]...)
+			}
+			if nd.Parent >= 0 {
+				cand = append(cand, h.YStar[nd.Parent]...)
+			}
+			h.YStar[id] = s.Sample(tr.Points, cand, budget)
+		})
+	}
+	return h
+}
+
+// Bytes returns the memory footprint of the stored sample index sets.
+func (h *Hierarchy) Bytes() int64 {
+	var b int64
+	for i := range h.XStar {
+		b += int64(len(h.XStar[i])+len(h.YStar[i])) * 8
+	}
+	return b
+}
