@@ -16,6 +16,7 @@ import (
 	"h2ds/internal/core"
 	"h2ds/internal/hmatrix"
 	"h2ds/internal/kernel"
+	"h2ds/internal/mat"
 	"h2ds/internal/pointset"
 	"h2ds/internal/sample"
 )
@@ -76,6 +77,103 @@ func benchMatVec(b *testing.B, pts *pointset.Points, k kernel.Kernel, cfg core.C
 	for i := 0; i < b.N; i++ {
 		m.ApplyTo(y, x)
 	}
+}
+
+// BenchmarkApply measures the steady-state matvec through the three entry
+// points: an explicit caller-owned workspace (ApplyToWith), the pooled
+// ApplyTo that existing callers hit, and the batched multi-RHS product.
+// The serial workspace cases must report 0 allocs/op — the parallel sweeps
+// spawn goroutines, so only Workers=1 exercises the allocation-free path
+// end to end.
+func BenchmarkApply(b *testing.B) {
+	pts := pointset.Cube(benchN, 3, 1)
+	for _, mode := range []core.MemoryMode{core.Normal, core.OnTheFly} {
+		cfg := benchConfig(core.DataDriven, mode, benchTol)
+		cfg.Workers = 1
+		m, err := core.Build(pts, kernel.Coulomb{}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x := benchVec(benchN, 7)
+		y := make([]float64, benchN)
+		b.Run(fmt.Sprintf("workspace/serial/%s", mode), func(b *testing.B) {
+			ws := m.NewWorkspace()
+			m.ApplyToWith(ws, y, x) // warm-up: grows the on-the-fly scratch tile
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.ApplyToWith(ws, y, x)
+			}
+		})
+		b.Run(fmt.Sprintf("pooled/serial/%s", mode), func(b *testing.B) {
+			m.ApplyTo(y, x)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.ApplyTo(y, x)
+			}
+		})
+	}
+	cfg := benchConfig(core.DataDriven, core.OnTheFly, benchTol)
+	m, err := core.Build(pts, kernel.Coulomb{}, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := benchVec(benchN, 7)
+	y := make([]float64, benchN)
+	b.Run("workspace/parallel/on-the-fly", func(b *testing.B) {
+		ws := m.NewWorkspace()
+		m.ApplyToWith(ws, y, x)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.ApplyToWith(ws, y, x)
+		}
+	})
+}
+
+// BenchmarkMultiRHS pits the batched k-RHS product against k sequential
+// matvecs on a 20,000-point cube in on-the-fly mode, where each kernel tile
+// is assembled once per batch instead of once per column. One op = the full
+// k-column product.
+func BenchmarkMultiRHS(b *testing.B) {
+	const n, k = 20000, 8
+	pts := pointset.Cube(n, 3, 1)
+	m, err := core.Build(pts, kernel.Coulomb{}, benchConfig(core.DataDriven, core.OnTheFly, 1e-6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	B := mat.NewDense(n, k)
+	for j := 0; j < k; j++ {
+		col := benchVec(n, int64(7+j))
+		for i := 0; i < n; i++ {
+			B.Set(i, j, col[i])
+		}
+	}
+	b.Run(fmt.Sprintf("sequential/k%d", k), func(b *testing.B) {
+		ws := m.NewWorkspace()
+		col := make([]float64, n)
+		y := make([]float64, n)
+		m.ApplyToWith(ws, y, col)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < k; j++ {
+				for r := 0; r < n; r++ {
+					col[r] = B.At(r, j)
+				}
+				m.ApplyToWith(ws, y, col)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("batch/k%d", k), func(b *testing.B) {
+		ws := m.NewWorkspace()
+		Y := mat.NewDense(n, k)
+		m.ApplyBatchToWith(ws, Y, B)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.ApplyBatchToWith(ws, Y, B)
+		}
+	})
 }
 
 // BenchmarkFig2Ranks regenerates the Fig 2 rank comparison: both

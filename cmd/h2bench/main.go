@@ -6,7 +6,8 @@
 //	h2bench -exp all -scale small     # the full evaluation, laptop scale
 //	h2bench -exp table1 -scale paper  # the paper's problem sizes
 //
-// Experiments: fig2, fig4, fig5, fig6, table1, fig7, fig8, fig9, ablation.
+// Experiments: fig2, fig4, fig5, fig6, table1, fig7, fig8, fig9, ablation,
+// rhs (multi-RHS batch apply; sweep width with -rhs).
 // Output is a plain-text report with one aligned table per panel; see
 // EXPERIMENTS.md for how each maps onto the paper.
 package main
@@ -27,6 +28,7 @@ func main() {
 	sampler := flag.String("sampler", "anchornet", "data-driven sampler: anchornet, fps, random")
 	seed := flag.Int64("seed", 1, "workload seed")
 	reps := flag.Int("reps", 3, "matvec repetitions per timing")
+	rhs := flag.Int("rhs", 8, "largest batch width for the multi-RHS sweep (rhs experiment)")
 	flag.Parse()
 
 	if *exp == "" {
@@ -40,6 +42,7 @@ func main() {
 		Sampler:    *sampler,
 		Seed:       *seed,
 		MatVecReps: *reps,
+		RHS:        *rhs,
 		Out:        os.Stdout,
 	}
 	if err := bench.Run(*exp, opt); err != nil {

@@ -38,6 +38,9 @@ type Options struct {
 	// MatVecReps averages the matvec timing over this many products
 	// (0 = 3).
 	MatVecReps int
+	// RHS is the largest right-hand-side batch width the multi-RHS
+	// experiment sweeps (powers of two up to this; 0 = 8).
+	RHS int
 	// Out receives the report (nil = io.Discard).
 	Out io.Writer
 }
@@ -54,6 +57,13 @@ func (o Options) reps() int {
 		return 3
 	}
 	return o.MatVecReps
+}
+
+func (o Options) rhs() int {
+	if o.RHS <= 0 {
+		return 8
+	}
+	return o.RHS
 }
 
 func (o Options) sampler() sample.Sampler {
@@ -73,7 +83,7 @@ func (o Options) seed() int64 {
 
 // Experiments lists the runnable experiment ids in paper order.
 func Experiments() []string {
-	return []string{"fig2", "fig4", "fig5", "fig6", "table1", "fig7", "fig8", "fig9", "ablation"}
+	return []string{"fig2", "fig4", "fig5", "fig6", "table1", "fig7", "fig8", "fig9", "ablation", "rhs"}
 }
 
 // Run executes one experiment ("fig2", ..., "table1", "ablation") or "all".
@@ -97,6 +107,8 @@ func Run(exp string, opt Options) error {
 		return Fig9(opt)
 	case "ablation":
 		return Ablation(opt)
+	case "rhs":
+		return MultiRHS(opt)
 	case "all":
 		for _, e := range Experiments() {
 			if err := Run(e, opt); err != nil {

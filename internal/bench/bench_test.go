@@ -42,7 +42,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestExperimentsList(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 9 {
+	if len(ids) != 10 {
 		t.Fatalf("experiment list changed unexpectedly: %v", ids)
 	}
 	seen := map[string]bool{}
@@ -128,6 +128,9 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.sampler().Name() != "anchornet" {
 		t.Fatal("default sampler")
 	}
+	if o.rhs() != 8 {
+		t.Fatal("default rhs")
+	}
 	if o.out() == nil {
 		t.Fatal("default out")
 	}
@@ -154,6 +157,7 @@ func TestRunnersSmoke(t *testing.T) {
 		{"fig7", []string{"threads sweep", "14"}},
 		{"fig8", []string{"tolerance sweep", "1e-02", "1e-08"}},
 		{"fig9", []string{"kernel coulomb", "kernel coulomb3", "kernel exp", "kernel gaussian"}},
+		{"rhs", []string{"multi-RHS batch apply", "batched apply vs sequential", "on-the-fly", "speedup"}},
 	} {
 		var buf bytes.Buffer
 		opt := tinyOpt(&buf)

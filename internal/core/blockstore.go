@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"h2ds/internal/mat"
 )
@@ -17,8 +18,15 @@ type blockKey struct{ I, J int }
 // matrix-free Apply interface means callers are oblivious to whether blocks
 // were stored at construction (normal mode) or are absent (on-the-fly mode
 // bypasses the store entirely).
+//
+// Concurrency: Put is safe for concurrent use during parallel construction,
+// and all read methods (Get, Apply, ApplyBatch, Len, Bytes, MaxBlockBytes)
+// take a read lock, so concurrent Put+Get during the build phase is safe.
+// Once the store is complete, Freeze switches reads to a lock-free fast
+// path; Put after Freeze panics.
 type BlockStore struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
+	frozen   atomic.Bool
 	index    map[blockKey]int32
 	blocks   []*mat.Dense
 	directed bool
@@ -38,10 +46,14 @@ func NewDirectedBlockStore() *BlockStore {
 }
 
 // Put stores block b for the node pair (i, j); in triangular mode i <= j is
-// required. It is safe for concurrent use during parallel construction.
+// required. It is safe for concurrent use during parallel construction and
+// panics after Freeze.
 func (s *BlockStore) Put(i, j int, b *mat.Dense) {
 	if !s.directed && i > j {
 		panic("core: BlockStore.Put requires i <= j (symmetric storage)")
+	}
+	if s.frozen.Load() {
+		panic("core: BlockStore.Put after Freeze")
 	}
 	s.mu.Lock()
 	s.index[blockKey{i, j}] = int32(len(s.blocks))
@@ -49,8 +61,17 @@ func (s *BlockStore) Put(i, j int, b *mat.Dense) {
 	s.mu.Unlock()
 }
 
+// Freeze marks construction as complete: subsequent reads skip locking
+// entirely (the matvec hot path) and further Puts panic. All Puts must
+// happen-before Freeze (the builder's parallel-for barrier guarantees this).
+func (s *BlockStore) Freeze() { s.frozen.Store(true) }
+
 // Get returns the block stored for exactly (i, j), or nil.
 func (s *BlockStore) Get(i, j int) *mat.Dense {
+	if !s.frozen.Load() {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	k, ok := s.index[blockKey{i, j}]
 	if !ok {
 		return nil
@@ -78,12 +99,42 @@ func (s *BlockStore) Apply(g []float64, i, j int, q []float64) bool {
 	return true
 }
 
+// ApplyBatch accumulates g += B_{i,j} q for a block of right-hand sides
+// (q is rank_j x k, g is rank_i x k), with the same triangular-transpose
+// convention as Apply. It reports whether a block was found.
+func (s *BlockStore) ApplyBatch(g *mat.Dense, i, j int, q *mat.Dense) bool {
+	if s.directed || i <= j {
+		b := s.Get(i, j)
+		if b == nil {
+			return false
+		}
+		mat.MulAddTo(g, b, q)
+		return true
+	}
+	b := s.Get(j, i)
+	if b == nil {
+		return false
+	}
+	mat.MulTAddTo(g, b, q)
+	return true
+}
+
 // Len returns the number of stored blocks.
-func (s *BlockStore) Len() int { return len(s.blocks) }
+func (s *BlockStore) Len() int {
+	if !s.frozen.Load() {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
+	return len(s.blocks)
+}
 
 // Bytes returns the memory footprint: dense payloads plus index entries
 // (key, value, and map bucket overhead estimated at 8 bytes per entry).
 func (s *BlockStore) Bytes() int64 {
+	if !s.frozen.Load() {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	var b int64
 	for _, blk := range s.blocks {
 		b += int64(len(blk.Data))*8 + 24
@@ -95,6 +146,10 @@ func (s *BlockStore) Bytes() int64 {
 // MaxBlockBytes returns the size of the largest stored block, the quantity
 // that bounds per-worker scratch in on-the-fly mode.
 func (s *BlockStore) MaxBlockBytes() int64 {
+	if !s.frozen.Load() {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	var m int64
 	for _, blk := range s.blocks {
 		if b := int64(len(blk.Data)) * 8; b > m {

@@ -93,6 +93,93 @@ func TestBlockStoreConcurrentPut(t *testing.T) {
 	}
 }
 
+func TestBlockStoreConcurrentPutGet(t *testing.T) {
+	// Readers overlap writers during the construction phase — this is the
+	// race the RWMutex closes; run with -race to verify.
+	s := NewBlockStore()
+	var wg sync.WaitGroup
+	const writers, perWriter = 4, 100
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < perWriter; k++ {
+				i := w*perWriter + k
+				s.Put(i, i+1, mat.NewDenseData(1, 1, []float64{float64(i)}))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := make([]float64, 1)
+			for k := 0; k < 2000; k++ {
+				i := k % (writers * perWriter)
+				if b := s.Get(i, i+1); b != nil && b.Data[0] != float64(i) {
+					t.Errorf("block (%d,%d) has wrong payload %g", i, i+1, b.Data[0])
+					return
+				}
+				s.Apply(g, i, i+1, []float64{1})
+				_ = s.Len()
+				_ = s.Bytes()
+				_ = s.MaxBlockBytes()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != writers*perWriter {
+		t.Fatalf("Len %d want %d", s.Len(), writers*perWriter)
+	}
+}
+
+func TestBlockStoreFreeze(t *testing.T) {
+	s := NewBlockStore()
+	s.Put(0, 1, mat.NewDenseData(1, 1, []float64{2}))
+	s.Freeze()
+	if s.Get(0, 1) == nil || s.Len() != 1 {
+		t.Fatal("frozen reads must still see stored blocks")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Put after Freeze")
+		}
+	}()
+	s.Put(0, 2, mat.NewDense(1, 1))
+}
+
+func TestBlockStoreApplyBatch(t *testing.T) {
+	s := NewBlockStore()
+	b := mat.NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	s.Put(1, 5, b)
+	q := mat.NewDenseData(3, 2, []float64{1, 0, -1, 1, 2, -2})
+	g := mat.NewDense(2, 2)
+	if !s.ApplyBatch(g, 1, 5, q) {
+		t.Fatal("batch apply missed stored block")
+	}
+	want := mat.Mul(b, q)
+	for i := range want.Data {
+		if math.Abs(g.Data[i]-want.Data[i]) > 1e-15 {
+			t.Fatalf("batch apply wrong: %v want %v", g.Data, want.Data)
+		}
+	}
+	// Transposed direction.
+	q2 := mat.NewDenseData(2, 2, []float64{1, -1, 1, 2})
+	g2 := mat.NewDense(3, 2)
+	if !s.ApplyBatch(g2, 5, 1, q2) {
+		t.Fatal("transposed batch apply missed")
+	}
+	wantT := mat.Mul(b.T(), q2)
+	for i := range wantT.Data {
+		if math.Abs(g2.Data[i]-wantT.Data[i]) > 1e-15 {
+			t.Fatalf("transposed batch apply wrong: %v want %v", g2.Data, wantT.Data)
+		}
+	}
+	if s.ApplyBatch(mat.NewDense(1, 2), 9, 9, mat.NewDense(1, 2)) {
+		t.Fatal("batch apply on missing block must return false")
+	}
+}
+
 func TestBlockStoreBytes(t *testing.T) {
 	s := NewBlockStore()
 	if s.Bytes() != 0 || s.MaxBlockBytes() != 0 {

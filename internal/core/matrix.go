@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"h2ds/internal/kernel"
@@ -56,6 +57,11 @@ type Matrix struct {
 	// allIdx is the shared identity index [0, n) into the permuted points;
 	// leaf ranges are subslices.
 	allIdx []int
+
+	// wsPool recycles matvec workspaces so the convenience entry points
+	// (ApplyTo, ApplyTranspose, ApplyBatchTo, BlockJacobi.ApplyTo) are
+	// allocation-free in steady state. See Workspace.
+	wsPool sync.Pool
 
 	stats BuildStats
 }
@@ -259,6 +265,10 @@ func (m *Matrix) storeBlocks() {
 		b := kernel.NewBlock(m.Kern, m.Tree.Points, m.allIdx[ni.Start:ni.End], m.Tree.Points, m.allIdx[nj.Start:nj.End])
 		m.near.Put(p.i, p.j, b)
 	})
+	// Construction is complete: switch both stores to lock-free reads for
+	// the matvec hot path.
+	m.coup.Freeze()
+	m.near.Freeze()
 }
 
 // leafRange returns the permuted index slice owned by node id.

@@ -2,10 +2,6 @@ package core
 
 import (
 	"fmt"
-
-	"h2ds/internal/kernel"
-	"h2ds/internal/mat"
-	"h2ds/internal/par"
 )
 
 // Apply computes y = Â b for a vector b in the caller's original point
@@ -17,20 +13,20 @@ func (m *Matrix) Apply(b []float64) []float64 {
 }
 
 // ApplyTo computes y = Â b into y (original point ordering). y and b must
-// both have length N and must not alias.
+// both have length N; they may alias (the product round-trips through
+// internal permutation buffers, so ApplyTo(v, v) is well defined). The
+// workspace comes from an internal pool, so repeated calls are
+// allocation-free in steady state; callers that want explicit control over
+// buffer ownership use NewWorkspace + ApplyToWith.
 func (m *Matrix) ApplyTo(y, b []float64) {
-	if len(y) != m.N || len(b) != m.N {
-		panic(fmt.Sprintf("core: apply length mismatch y=%d b=%d n=%d", len(y), len(b), m.N))
-	}
-	bp := make([]float64, m.N)
-	yp := make([]float64, m.N)
-	m.Tree.PermuteVec(bp, b)
-	m.ApplyPermuted(yp, bp)
-	m.Tree.UnpermuteVec(y, yp)
+	ws := m.getWorkspace()
+	m.ApplyToWith(ws, y, b)
+	m.putWorkspace(ws)
 }
 
 // ApplyPermuted runs Algorithm 2 on vectors in the tree's permuted point
-// ordering. This is the core five-sweep product:
+// ordering. yp and bp must not alias (the leaf sweep reads bp's nearfield
+// neighbours while writing yp). This is the core five-sweep product:
 //
 //  1. leaf horizontal sweep    q_i = U_iᵀ b_i
 //  2. bottom-to-top sweep      q_i = Σ_c R_cᵀ q_c
@@ -45,109 +41,7 @@ func (m *Matrix) ApplyPermuted(yp, bp []float64) {
 	if len(yp) != m.N || len(bp) != m.N {
 		panic(fmt.Sprintf("core: applyPermuted length mismatch y=%d b=%d n=%d", len(yp), len(bp), m.N))
 	}
-	workers := par.Resolve(m.Cfg.Workers)
-	nodes := m.Tree.Nodes
-	q := make([][]float64, len(nodes))
-	g := make([][]float64, len(nodes))
-
-	// Stages 1+2: upward sweep, level by level from the deepest, through
-	// the column-side generators (V, W; identical to U, R for symmetric
-	// kernels). Leaves project their input slice; internal nodes combine
-	// children through the stacked transfer blocks.
-	for l := m.Tree.Depth() - 1; l >= 0; l-- {
-		level := m.Tree.Levels[l]
-		par.For(workers, len(level), func(k int) {
-			id := level[k]
-			nd := &nodes[id]
-			qi := make([]float64, m.colRank(id))
-			if nd.IsLeaf {
-				if m.colRank(id) > 0 {
-					mat.MulTVecAdd(qi, m.colBasis(id), bp[nd.Start:nd.End])
-				}
-			} else if m.colRank(id) > 0 {
-				off := 0
-				for _, c := range nd.Children {
-					rc := m.colRank(c)
-					if rc > 0 {
-						mat.MulTVecAddRange(qi, m.colTrans(id), off, off+rc, q[c])
-					}
-					off += rc
-				}
-			}
-			q[id] = qi
-		})
-	}
-
-	// Stage 3: horizontal coupling sweep over every node with an
-	// interaction list. In normal mode the stored triangle is applied; in
-	// on-the-fly mode each worker assembles B_{i,j} into its scratch tile,
-	// applies it, and moves on (concurrent memory = workers x tile).
-	scratch := make([]*mat.Dense, workers)
-	for w := range scratch {
-		scratch[w] = mat.NewDense(0, 0)
-	}
-	par.ForWorker(workers, len(nodes), func(w, id int) {
-		gi := make([]float64, m.ranks[id])
-		g[id] = gi
-		if m.ranks[id] == 0 {
-			return
-		}
-		for _, j := range nodes[id].Interaction {
-			if m.colRank(j) == 0 {
-				continue
-			}
-			if m.Cfg.Mode == Normal {
-				m.coup.Apply(gi, id, j, q[j])
-				continue
-			}
-			tile := kernel.Assemble(scratch[w], m.Kern, m.skelPts[id], m.skel[id], m.skelPts[j], m.colSkeleton(j))
-			mat.MulVecAdd(gi, tile, q[j])
-		}
-	})
-
-	// Stage 4: downward sweep propagating farfield contributions to
-	// children. Parents at level l write only their own children's g, so
-	// each level is embarrassingly parallel.
-	for l := 0; l < m.Tree.Depth(); l++ {
-		level := m.Tree.Levels[l]
-		par.For(workers, len(level), func(k int) {
-			id := level[k]
-			nd := &nodes[id]
-			if nd.IsLeaf || m.ranks[id] == 0 {
-				return
-			}
-			off := 0
-			for _, c := range nd.Children {
-				rc := m.ranks[c]
-				if rc > 0 {
-					mat.MulVecAddRange(g[c], m.trans[id], off, off+rc, g[id])
-				}
-				off += rc
-			}
-		})
-	}
-
-	// Stage 5: leaf horizontal sweep — expand the farfield result through
-	// the leaf basis and add the dense nearfield interactions.
-	par.ForWorker(workers, len(m.Tree.Leaves), func(w, k int) {
-		id := m.Tree.Leaves[k]
-		nd := &nodes[id]
-		yi := yp[nd.Start:nd.End]
-		for p := range yi {
-			yi[p] = 0
-		}
-		if m.ranks[id] > 0 {
-			mat.MulVecAdd(yi, m.u[id], g[id])
-		}
-		for _, j := range nd.Near {
-			nj := &nodes[j]
-			bj := bp[nj.Start:nj.End]
-			if m.Cfg.Mode == Normal {
-				m.near.Apply(yi, id, j, bj)
-				continue
-			}
-			tile := kernel.Assemble(scratch[w], m.Kern, m.Tree.Points, m.leafRange(id), m.Tree.Points, m.leafRange(j))
-			mat.MulVecAdd(yi, tile, bj)
-		}
-	})
+	ws := m.getWorkspace()
+	m.applyPermutedWith(ws, yp, bp)
+	m.putWorkspace(ws)
 }

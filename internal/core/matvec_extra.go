@@ -3,9 +3,7 @@ package core
 import (
 	"fmt"
 
-	"h2ds/internal/kernel"
 	"h2ds/internal/mat"
-	"h2ds/internal/par"
 )
 
 // ApplyTranspose computes y = Âᵀ b in the caller's original point
@@ -20,288 +18,36 @@ func (m *Matrix) ApplyTranspose(b []float64) []float64 {
 }
 
 // ApplyTransposeTo computes y = Âᵀ b into y. y and b must both have length
-// N and must not alias.
+// N; they may alias (see ApplyTo). Uses the internal workspace pool.
 func (m *Matrix) ApplyTransposeTo(y, b []float64) {
-	if len(y) != m.N || len(b) != m.N {
-		panic(fmt.Sprintf("core: applyTranspose length mismatch y=%d b=%d n=%d", len(y), len(b), m.N))
-	}
-	bp := make([]float64, m.N)
-	yp := make([]float64, m.N)
-	m.Tree.PermuteVec(bp, b)
-	m.applyTransposePermuted(yp, bp)
-	m.Tree.UnpermuteVec(y, yp)
-}
-
-// applyTransposePermuted is Algorithm 2 on Âᵀ: since
-// Â|_{ij} = U_i B_{ij} V_jᵀ, the transpose carries V_j B_{ij}ᵀ U_iᵀ — the
-// same sweep structure with U and V exchanged and every coupling applied
-// through its transpose (for node i, the sum runs over B_{j,i}ᵀ q_j).
-func (m *Matrix) applyTransposePermuted(yp, bp []float64) {
-	workers := par.Resolve(m.Cfg.Workers)
-	nodes := m.Tree.Nodes
-	q := make([][]float64, len(nodes))
-	g := make([][]float64, len(nodes))
-
-	// Upward sweep through the ROW generators (U, R).
-	for l := m.Tree.Depth() - 1; l >= 0; l-- {
-		level := m.Tree.Levels[l]
-		par.For(workers, len(level), func(k int) {
-			id := level[k]
-			nd := &nodes[id]
-			qi := make([]float64, m.ranks[id])
-			if nd.IsLeaf {
-				if m.ranks[id] > 0 {
-					mat.MulTVecAdd(qi, m.u[id], bp[nd.Start:nd.End])
-				}
-			} else if m.ranks[id] > 0 {
-				off := 0
-				for _, c := range nd.Children {
-					rc := m.ranks[c]
-					if rc > 0 {
-						mat.MulTVecAddRange(qi, m.trans[id], off, off+rc, q[c])
-					}
-					off += rc
-				}
-			}
-			q[id] = qi
-		})
-	}
-
-	// Horizontal sweep: g_i = Σ_j B_{j,i}ᵀ q_j over j in IL(i). The
-	// interaction lists are symmetric as sets, so iterating i's own list
-	// covers exactly the blocks whose transpose writes into i.
-	scratch := make([]*mat.Dense, workers)
-	for w := range scratch {
-		scratch[w] = mat.NewDense(0, 0)
-	}
-	par.ForWorker(workers, len(nodes), func(w, id int) {
-		gi := make([]float64, m.colRank(id))
-		g[id] = gi
-		if m.colRank(id) == 0 {
-			return
-		}
-		for _, j := range nodes[id].Interaction {
-			if m.ranks[j] == 0 {
-				continue
-			}
-			if m.Cfg.Mode == Normal {
-				// g_i += B_{j,i}ᵀ q_j. In triangular (symmetric) storage,
-				// Apply(g, i, j, q) already computes B_{i,j} q = B_{j,i}ᵀ q.
-				// In directed storage we must transpose the stored (j, i)
-				// block explicitly.
-				if m.coup.directed {
-					if blk := m.coup.Get(j, id); blk != nil {
-						mat.MulTVecAdd(gi, blk, q[j])
-					}
-				} else {
-					m.coup.Apply(gi, id, j, q[j])
-				}
-				continue
-			}
-			// OTF: assemble B_{j,i} = K(S^row_j, S^col_i) and apply its
-			// transpose.
-			tile := kernel.Assemble(scratch[w], m.Kern, m.skelPts[j], m.skel[j], m.skelPts[id], m.colSkeleton(id))
-			mat.MulTVecAdd(gi, tile, q[j])
-		}
-	})
-
-	// Downward sweep through the COLUMN generators (V, W).
-	for l := 0; l < m.Tree.Depth(); l++ {
-		level := m.Tree.Levels[l]
-		par.For(workers, len(level), func(k int) {
-			id := level[k]
-			nd := &nodes[id]
-			if nd.IsLeaf || m.colRank(id) == 0 {
-				return
-			}
-			off := 0
-			for _, c := range nd.Children {
-				rc := m.colRank(c)
-				if rc > 0 {
-					mat.MulVecAddRange(g[c], m.colTrans(id), off, off+rc, g[id])
-				}
-				off += rc
-			}
-		})
-	}
-
-	// Leaf sweep: y_i = V_i g_i + Σ_j K(X_j, X_i)ᵀ b_j.
-	par.ForWorker(workers, len(m.Tree.Leaves), func(w, k int) {
-		id := m.Tree.Leaves[k]
-		nd := &nodes[id]
-		yi := yp[nd.Start:nd.End]
-		for p := range yi {
-			yi[p] = 0
-		}
-		if m.colRank(id) > 0 {
-			mat.MulVecAdd(yi, m.colBasis(id), g[id])
-		}
-		for _, j := range nd.Near {
-			nj := &nodes[j]
-			bj := bp[nj.Start:nj.End]
-			if m.Cfg.Mode == Normal {
-				if m.near.directed {
-					if blk := m.near.Get(j, id); blk != nil {
-						mat.MulTVecAdd(yi, blk, bj)
-					}
-				} else {
-					m.near.Apply(yi, id, j, bj)
-				}
-				continue
-			}
-			tile := kernel.Assemble(scratch[w], m.Kern, m.Tree.Points, m.leafRange(j), m.Tree.Points, m.leafRange(id))
-			mat.MulTVecAdd(yi, tile, bj)
-		}
-	})
+	ws := m.getWorkspace()
+	m.ApplyTransposeToWith(ws, y, b)
+	m.putWorkspace(ws)
 }
 
 // ApplyBatch computes Y = Â B for a batch of k column vectors stored as an
-// N-by-k matrix in the caller's original point ordering. The five sweeps
-// run once with matrix-valued node states, so every coupling and nearfield
-// block — in on-the-fly mode, every tile assembly — is visited once for the
-// whole batch instead of once per column. This is the natural kernel for
-// block iterative methods (multiple right-hand sides).
+// N-by-k matrix in the caller's original point ordering and returns the
+// N-by-k result. See ApplyBatchTo.
 func (m *Matrix) ApplyBatch(b *mat.Dense) *mat.Dense {
 	if b.Rows != m.N {
 		panic(fmt.Sprintf("core: applyBatch rows %d want %d", b.Rows, m.N))
 	}
-	k := b.Cols
-	workers := par.Resolve(m.Cfg.Workers)
-	nodes := m.Tree.Nodes
-
-	// Permute the batch rows.
-	bp := mat.NewDense(m.N, k)
-	for row, orig := range m.Tree.Perm {
-		copy(bp.Row(row), b.Row(orig))
-	}
-
-	q := make([]*mat.Dense, len(nodes))
-	g := make([]*mat.Dense, len(nodes))
-
-	// Upward sweep: q_i = V_iᵀ B_i for leaves, q_i = Σ_c W_cᵀ q_c above.
-	for l := m.Tree.Depth() - 1; l >= 0; l-- {
-		level := m.Tree.Levels[l]
-		par.For(workers, len(level), func(kk int) {
-			id := level[kk]
-			nd := &nodes[id]
-			rank := m.colRank(id)
-			qi := mat.NewDense(rank, k)
-			if nd.IsLeaf {
-				if rank > 0 {
-					sub := bp.SubCopy(nd.Start, nd.End, 0, k)
-					mat.MulTo(qi, m.colBasis(id).T(), sub)
-				}
-			} else if rank > 0 {
-				off := 0
-				w := m.colTrans(id)
-				for _, c := range nd.Children {
-					rc := m.colRank(c)
-					if rc > 0 {
-						// q_i += W_cᵀ q_c with W_c the row block of the stack.
-						wc := w.SubCopy(off, off+rc, 0, rank)
-						qi.Add(mat.Mul(wc.T(), q[c]))
-					}
-					off += rc
-				}
-			}
-			q[id] = qi
-		})
-	}
-
-	// Horizontal coupling sweep: one tile assembly per block for all k
-	// columns.
-	scratch := make([]*mat.Dense, workers)
-	for w := range scratch {
-		scratch[w] = mat.NewDense(0, 0)
-	}
-	par.ForWorker(workers, len(nodes), func(w, id int) {
-		gi := mat.NewDense(m.ranks[id], k)
-		g[id] = gi
-		if m.ranks[id] == 0 {
-			return
-		}
-		for _, j := range nodes[id].Interaction {
-			if m.colRank(j) == 0 {
-				continue
-			}
-			if m.Cfg.Mode == Normal {
-				if m.coup.directed || id <= j {
-					if blk := m.coup.Get(id, j); blk != nil {
-						gi.Add(mat.Mul(blk, q[j]))
-					}
-				} else if blk := m.coup.Get(j, id); blk != nil {
-					gi.Add(mat.Mul(blk.T(), q[j]))
-				}
-				continue
-			}
-			tile := kernel.Assemble(scratch[w], m.Kern, m.skelPts[id], m.skel[id], m.skelPts[j], m.colSkeleton(j))
-			gi.Add(mat.Mul(tile, q[j]))
-		}
-	})
-
-	// Downward sweep: g_c += R_c g_i.
-	for l := 0; l < m.Tree.Depth(); l++ {
-		level := m.Tree.Levels[l]
-		par.For(workers, len(level), func(kk int) {
-			id := level[kk]
-			nd := &nodes[id]
-			if nd.IsLeaf || m.ranks[id] == 0 {
-				return
-			}
-			off := 0
-			for _, c := range nd.Children {
-				rc := m.ranks[c]
-				if rc > 0 {
-					rcBlock := m.trans[id].SubCopy(off, off+rc, 0, m.ranks[id])
-					g[c].Add(mat.Mul(rcBlock, g[id]))
-				}
-				off += rc
-			}
-		})
-	}
-
-	// Leaf sweep.
-	yp := mat.NewDense(m.N, k)
-	par.ForWorker(workers, len(m.Tree.Leaves), func(w, kk int) {
-		id := m.Tree.Leaves[kk]
-		nd := &nodes[id]
-		var yi *mat.Dense
-		if m.ranks[id] > 0 {
-			yi = mat.Mul(m.u[id], g[id])
-		} else {
-			yi = mat.NewDense(nd.Size(), k)
-		}
-		for _, j := range nd.Near {
-			nj := &nodes[j]
-			bj := bp.SubCopy(nj.Start, nj.End, 0, k)
-			if m.Cfg.Mode == Normal {
-				if m.near.directed {
-					if blk := m.near.Get(id, j); blk != nil {
-						yi.Add(mat.Mul(blk, bj))
-					}
-					continue
-				}
-				if id <= j {
-					if blk := m.near.Get(id, j); blk != nil {
-						yi.Add(mat.Mul(blk, bj))
-					}
-				} else if blk := m.near.Get(j, id); blk != nil {
-					yi.Add(mat.Mul(blk.T(), bj))
-				}
-				continue
-			}
-			tile := kernel.Assemble(scratch[w], m.Kern, m.Tree.Points, m.leafRange(id), m.Tree.Points, m.leafRange(j))
-			yi.Add(mat.Mul(tile, bj))
-		}
-		for r := 0; r < nd.Size(); r++ {
-			copy(yp.Row(nd.Start+r), yi.Row(r))
-		}
-	})
-
-	// Un-permute rows.
-	y := mat.NewDense(m.N, k)
-	for row, orig := range m.Tree.Perm {
-		copy(y.Row(orig), yp.Row(row))
-	}
+	y := mat.NewDense(m.N, b.Cols)
+	m.ApplyBatchTo(y, b)
 	return y
+}
+
+// ApplyBatchTo computes Y = Â B for k right-hand sides (the columns of the
+// N-by-k matrix B) into Y, which is reshaped to N-by-k. Y and B may alias.
+// The five sweeps run once with matrix-valued node states, so every
+// coupling and nearfield block — in on-the-fly mode, every kernel tile
+// assembly, the dominant cost — is visited once for the whole batch instead
+// of once per column, and each stage is a small GEMM. This is the natural
+// kernel for block iterative methods (multiple right-hand sides, paper
+// §VI-B). Uses the internal workspace pool; batch buffers are retained and
+// reused across calls.
+func (m *Matrix) ApplyBatchTo(y, b *mat.Dense) {
+	ws := m.getWorkspace()
+	m.ApplyBatchToWith(ws, y, b)
+	m.putWorkspace(ws)
 }

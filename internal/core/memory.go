@@ -20,6 +20,12 @@ type MemoryStats struct {
 	Grids     int64 // interpolation grid point storage
 	Tree      int64 // tree metadata + permuted coordinates
 
+	// Workspace is the payload of one pooled matvec workspace (two N-length
+	// permutation buffers plus the per-node q/g rank slabs; see
+	// core.Workspace). The pool holds one workspace per in-flight apply, so
+	// concurrent callers multiply this figure by their concurrency.
+	Workspace int64
+
 	// ScratchPerWorker bounds the per-worker tile buffer used by the
 	// on-the-fly mode: the largest coupling or nearfield block. Concurrent
 	// usage is Workers x ScratchPerWorker (paper Fig 7c).
@@ -27,10 +33,10 @@ type MemoryStats struct {
 	Workers          int
 }
 
-// Total returns the resident bytes: stored generators plus, in on-the-fly
-// mode, the concurrent scratch tiles.
+// Total returns the resident bytes: stored generators plus one pooled
+// workspace plus, in on-the-fly mode, the concurrent scratch tiles.
 func (s MemoryStats) Total() int64 {
-	t := s.Basis + s.Transfer + s.Coupling + s.Nearfield + s.Skeletons + s.Grids + s.Tree
+	t := s.Basis + s.Transfer + s.Coupling + s.Nearfield + s.Skeletons + s.Grids + s.Tree + s.Workspace
 	t += int64(s.Workers) * s.ScratchPerWorker
 	return t
 }
@@ -40,9 +46,9 @@ func (s MemoryStats) KiB() float64 { return float64(s.Total()) / 1024 }
 
 // String renders a short human-readable breakdown.
 func (s MemoryStats) String() string {
-	return fmt.Sprintf("total %.2f KiB (basis %.2f, transfer %.2f, coupling %.2f, nearfield %.2f, skeletons %.2f, grids %.2f, tree %.2f, scratch %dx%.2f)",
+	return fmt.Sprintf("total %.2f KiB (basis %.2f, transfer %.2f, coupling %.2f, nearfield %.2f, skeletons %.2f, grids %.2f, tree %.2f, workspace %.2f, scratch %dx%.2f)",
 		s.KiB(), kib(s.Basis), kib(s.Transfer), kib(s.Coupling), kib(s.Nearfield),
-		kib(s.Skeletons), kib(s.Grids), kib(s.Tree), s.Workers, kib(s.ScratchPerWorker))
+		kib(s.Skeletons), kib(s.Grids), kib(s.Tree), kib(s.Workspace), s.Workers, kib(s.ScratchPerWorker))
 }
 
 func kib(b int64) float64 { return float64(b) / 1024 }
@@ -76,6 +82,7 @@ func (m *Matrix) Memory() MemoryStats {
 		s.Skeletons += m.hier.Bytes()
 	}
 	s.Tree = m.Tree.Bytes()
+	s.Workspace = m.workspaceBytes()
 	if m.Cfg.Mode == Normal {
 		s.Coupling = m.coup.Bytes()
 		s.Nearfield = m.near.Bytes()

@@ -54,21 +54,23 @@ func (m *Matrix) BlockJacobi(sigma float64) (*BlockJacobi, error) {
 
 // ApplyTo solves the block-diagonal system: y = M⁻¹ b with
 // M = blockdiag(K_leaf + σI). y and b are in the caller's original point
-// ordering, matching Matrix.ApplyTo.
+// ordering, matching Matrix.ApplyTo; they may alias. It draws its
+// permutation buffers from the matrix's workspace pool and solves each leaf
+// in place, so repeated applications inside PCG are allocation-free in
+// steady state.
 func (bj *BlockJacobi) ApplyTo(y, b []float64) {
 	m := bj.m
 	if len(y) != m.N || len(b) != m.N {
 		panic(fmt.Sprintf("core: blockjacobi length mismatch y=%d b=%d n=%d", len(y), len(b), m.N))
 	}
-	bp := make([]float64, m.N)
-	yp := make([]float64, m.N)
-	m.Tree.PermuteVec(bp, b)
+	ws := m.getWorkspace()
+	m.Tree.PermuteVec(ws.bp, b)
 	par.For(bj.workers, len(bj.leaves), func(k int) {
 		nd := &m.Tree.Nodes[bj.leaves[k]]
-		x := bj.factors[k].Solve(bp[nd.Start:nd.End])
-		copy(yp[nd.Start:nd.End], x)
+		bj.factors[k].SolveTo(ws.yp[nd.Start:nd.End], ws.bp[nd.Start:nd.End])
 	})
-	m.Tree.UnpermuteVec(y, yp)
+	m.Tree.UnpermuteVec(y, ws.yp)
+	m.putWorkspace(ws)
 }
 
 // Bytes returns the preconditioner's deterministic memory footprint.

@@ -1,0 +1,604 @@
+package core
+
+import (
+	"fmt"
+
+	"h2ds/internal/kernel"
+	"h2ds/internal/mat"
+	"h2ds/internal/par"
+)
+
+// Workspace holds every buffer a matvec needs, so repeated products — the
+// iterative-solve workload the paper motivates the normal mode with (§VI-B)
+// — touch the allocator only on the first call. It carves per-node q/g
+// segments out of two flat slabs via prefix sums over the node ranks
+// (contiguous by construction, one cache-friendly block per level), keeps
+// the two N-length permutation buffers, and owns the per-worker scratch
+// tiles of the on-the-fly mode.
+//
+// Concurrency contract: a Workspace may be used by ONE goroutine at a time.
+// Concurrent callers either create one workspace each (NewWorkspace) or use
+// the convenience entry points (ApplyTo, ApplyTranspose, ApplyBatchTo),
+// which draw from an internal sync.Pool — concurrent requests then cost at
+// most one workspace per in-flight call, reused across calls.
+//
+// The sweep kernels are bound to the workspace as method-value closures at
+// construction time; per-call parameters travel through workspace fields.
+// This keeps the steady-state serial matvec at zero allocations per
+// operation (parallel sweeps additionally pay the transient goroutine
+// bookkeeping of par.ForWorker).
+type Workspace struct {
+	m *Matrix
+
+	// Permutation buffers (length N).
+	bp, yp []float64
+
+	// Prefix sums over the row-side and column-side ranks, indexed by node
+	// id; node i's segment is slab[off[i]:off[i+1]]. For shared bases the
+	// two offset tables are the same slice; the slabs are always distinct
+	// because q and g live simultaneously.
+	rowOff, colOff   []int
+	rowSlab, colSlab []float64
+
+	// Per-worker tile buffers for on-the-fly assembly (grown on demand when
+	// the configured worker count rises).
+	scratch []*mat.Dense
+
+	// ---- per-call state consumed by the prebuilt sweep closures ----
+	curB, curY []float64 // permuted input/output vectors
+	level      []int     // node ids of the level being swept
+	q, g       []float64 // slab aliases for the call's q/g roles
+	qOff, gOff []int     // matching offset tables
+
+	upFn, coupFn, downFn, leafFn     func(w, i int)
+	upTFn, coupTFn, downTFn, leafTFn func(w, i int)
+
+	// ---- batch (multi-RHS) state ----
+	k                  int // current batch width
+	bpB, ypB           *mat.Dense
+	rowSlabB, colSlabB []float64
+	qB, gB             []*mat.Dense // per-node headers re-pointed into the slabs
+	viewIn, viewOut    []*mat.Dense // per-worker leaf-range views
+
+	bUpFn, bCoupFn, bDownFn, bLeafFn func(w, i int)
+}
+
+// NewWorkspace allocates a workspace sized for m's tree and ranks. Reuse it
+// across products from a single goroutine; for ad-hoc calls prefer ApplyTo,
+// which pools workspaces internally.
+func (m *Matrix) NewWorkspace() *Workspace {
+	nNodes := len(m.Tree.Nodes)
+	ws := &Workspace{m: m}
+	ws.bp = make([]float64, m.N)
+	ws.yp = make([]float64, m.N)
+	ws.rowOff = make([]int, nNodes+1)
+	for i := 0; i < nNodes; i++ {
+		ws.rowOff[i+1] = ws.rowOff[i] + m.ranks[i]
+	}
+	if m.sharedBasis {
+		ws.colOff = ws.rowOff
+	} else {
+		ws.colOff = make([]int, nNodes+1)
+		for i := 0; i < nNodes; i++ {
+			ws.colOff[i+1] = ws.colOff[i] + m.colRank(i)
+		}
+	}
+	ws.rowSlab = make([]float64, ws.rowOff[nNodes])
+	ws.colSlab = make([]float64, ws.colOff[nNodes])
+	ws.growScratch(par.Resolve(m.Cfg.Workers))
+
+	ws.upFn = ws.upNode
+	ws.coupFn = ws.coupNode
+	ws.downFn = ws.downNode
+	ws.leafFn = ws.leafNode
+	ws.upTFn = ws.upNodeT
+	ws.coupTFn = ws.coupNodeT
+	ws.downTFn = ws.downNodeT
+	ws.leafTFn = ws.leafNodeT
+	ws.bUpFn = ws.upNodeB
+	ws.bCoupFn = ws.coupNodeB
+	ws.bDownFn = ws.downNodeB
+	ws.bLeafFn = ws.leafNodeB
+	return ws
+}
+
+// growScratch ensures at least n per-worker tile buffers exist.
+func (ws *Workspace) growScratch(n int) {
+	for len(ws.scratch) < n {
+		ws.scratch = append(ws.scratch, mat.NewDense(0, 0))
+	}
+}
+
+// check validates the workspace against the matrix it is about to serve and
+// adapts to a changed worker count.
+func (ws *Workspace) check(m *Matrix, workers int) {
+	if ws.m != m {
+		panic("core: workspace used with a different Matrix than it was created for")
+	}
+	ws.growScratch(workers)
+}
+
+// Bytes returns the deterministic payload size of the vector-path buffers
+// (permute buffers plus both rank slabs). Scratch tiles are accounted
+// separately (MemoryStats.ScratchPerWorker); batch slabs grow with the
+// batch width and are excluded.
+func (ws *Workspace) Bytes() int64 {
+	return int64(len(ws.bp)+len(ws.yp)+len(ws.rowSlab)+len(ws.colSlab)) * 8
+}
+
+// getWorkspace draws a workspace from the matrix's pool, creating one on
+// first use.
+func (m *Matrix) getWorkspace() *Workspace {
+	if ws, ok := m.wsPool.Get().(*Workspace); ok {
+		return ws
+	}
+	return m.NewWorkspace()
+}
+
+// putWorkspace returns a workspace to the pool.
+func (m *Matrix) putWorkspace(ws *Workspace) { m.wsPool.Put(ws) }
+
+// workspaceBytes is the deterministic size of one vector-path workspace,
+// computed from the representation shape without allocating one.
+func (m *Matrix) workspaceBytes() int64 {
+	var rows, cols int
+	for i := range m.Tree.Nodes {
+		rows += m.ranks[i]
+		cols += m.colRank(i)
+	}
+	return int64(2*m.N+rows+cols) * 8
+}
+
+// ApplyToWith computes y = Â b into y (original point ordering) using the
+// caller-owned workspace: zero allocations in steady state. y and b must
+// both have length N; they may alias (the product round-trips through the
+// workspace's permutation buffers).
+func (m *Matrix) ApplyToWith(ws *Workspace, y, b []float64) {
+	if len(y) != m.N || len(b) != m.N {
+		panic(fmt.Sprintf("core: apply length mismatch y=%d b=%d n=%d", len(y), len(b), m.N))
+	}
+	m.Tree.PermuteVec(ws.bp, b)
+	m.applyPermutedWith(ws, ws.yp, ws.bp)
+	m.Tree.UnpermuteVec(y, ws.yp)
+}
+
+// ApplyTransposeToWith computes y = Âᵀ b into y using the caller-owned
+// workspace. y and b must both have length N; they may alias.
+func (m *Matrix) ApplyTransposeToWith(ws *Workspace, y, b []float64) {
+	if len(y) != m.N || len(b) != m.N {
+		panic(fmt.Sprintf("core: applyTranspose length mismatch y=%d b=%d n=%d", len(y), len(b), m.N))
+	}
+	m.Tree.PermuteVec(ws.bp, b)
+	m.applyTransposePermutedWith(ws, ws.yp, ws.bp)
+	m.Tree.UnpermuteVec(y, ws.yp)
+}
+
+// applyPermutedWith runs the five sweeps of Algorithm 2 on permuted vectors
+// with all state drawn from ws. yp and bp must not alias (stage 5 reads
+// bp's nearfield neighbours while writing yp).
+func (m *Matrix) applyPermutedWith(ws *Workspace, yp, bp []float64) {
+	workers := par.Resolve(m.Cfg.Workers)
+	ws.check(m, workers)
+	ws.curB, ws.curY = bp, yp
+	// Apply role assignment: q carries column-side coefficients, g row-side.
+	ws.q, ws.qOff = ws.colSlab, ws.colOff
+	ws.g, ws.gOff = ws.rowSlab, ws.rowOff
+
+	for l := m.Tree.Depth() - 1; l >= 0; l-- {
+		ws.level = m.Tree.Levels[l]
+		par.ForWorker(workers, len(ws.level), ws.upFn)
+	}
+	par.ForWorker(workers, len(m.Tree.Nodes), ws.coupFn)
+	for l := 0; l < m.Tree.Depth(); l++ {
+		ws.level = m.Tree.Levels[l]
+		par.ForWorker(workers, len(ws.level), ws.downFn)
+	}
+	par.ForWorker(workers, len(m.Tree.Leaves), ws.leafFn)
+	ws.curB, ws.curY = nil, nil
+}
+
+// applyTransposePermutedWith is the transpose product with the q/g roles
+// exchanged: the upward sweep goes through U/R, couplings apply B_{j,i}ᵀ,
+// and the downward/leaf sweeps go through V/W.
+func (m *Matrix) applyTransposePermutedWith(ws *Workspace, yp, bp []float64) {
+	workers := par.Resolve(m.Cfg.Workers)
+	ws.check(m, workers)
+	ws.curB, ws.curY = bp, yp
+	ws.q, ws.qOff = ws.rowSlab, ws.rowOff
+	ws.g, ws.gOff = ws.colSlab, ws.colOff
+
+	for l := m.Tree.Depth() - 1; l >= 0; l-- {
+		ws.level = m.Tree.Levels[l]
+		par.ForWorker(workers, len(ws.level), ws.upTFn)
+	}
+	par.ForWorker(workers, len(m.Tree.Nodes), ws.coupTFn)
+	for l := 0; l < m.Tree.Depth(); l++ {
+		ws.level = m.Tree.Levels[l]
+		par.ForWorker(workers, len(ws.level), ws.downTFn)
+	}
+	par.ForWorker(workers, len(m.Tree.Leaves), ws.leafTFn)
+	ws.curB, ws.curY = nil, nil
+}
+
+// seg returns node id's segment of the given slab.
+func seg(slab []float64, off []int, id int) []float64 { return slab[off[id]:off[id+1]] }
+
+// zero clears a segment in place.
+func zero(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// upNode is stage 1+2 for Apply: leaves project their input slice through
+// the column basis; internal nodes combine children through the stacked
+// column transfer blocks.
+func (ws *Workspace) upNode(_, k int) {
+	m := ws.m
+	id := ws.level[k]
+	nd := &m.Tree.Nodes[id]
+	qi := seg(ws.q, ws.qOff, id)
+	zero(qi)
+	if len(qi) == 0 {
+		return
+	}
+	if nd.IsLeaf {
+		mat.MulTVecAdd(qi, m.colBasis(id), ws.curB[nd.Start:nd.End])
+		return
+	}
+	off := 0
+	for _, c := range nd.Children {
+		rc := m.colRank(c)
+		if rc > 0 {
+			mat.MulTVecAddRange(qi, m.colTrans(id), off, off+rc, seg(ws.q, ws.qOff, c))
+		}
+		off += rc
+	}
+}
+
+// coupNode is stage 3 for Apply: g_i = Σ_{j ∈ IL(i)} B_{i,j} q_j, with
+// on-the-fly assembly into the worker's scratch tile when no blocks are
+// stored.
+func (ws *Workspace) coupNode(w, id int) {
+	m := ws.m
+	gi := seg(ws.g, ws.gOff, id)
+	zero(gi)
+	if len(gi) == 0 {
+		return
+	}
+	for _, j := range m.Tree.Nodes[id].Interaction {
+		if m.colRank(j) == 0 {
+			continue
+		}
+		qj := seg(ws.q, ws.qOff, j)
+		if m.Cfg.Mode == Normal {
+			m.coup.Apply(gi, id, j, qj)
+			continue
+		}
+		tile := kernel.Assemble(ws.scratch[w], m.Kern, m.skelPts[id], m.skel[id], m.skelPts[j], m.colSkeleton(j))
+		mat.MulVecAdd(gi, tile, qj)
+	}
+}
+
+// downNode is stage 4 for Apply: g_c += R_c g_i, parents writing only their
+// own children's segments.
+func (ws *Workspace) downNode(_, k int) {
+	m := ws.m
+	id := ws.level[k]
+	nd := &m.Tree.Nodes[id]
+	if nd.IsLeaf || m.ranks[id] == 0 {
+		return
+	}
+	gi := seg(ws.g, ws.gOff, id)
+	off := 0
+	for _, c := range nd.Children {
+		rc := m.ranks[c]
+		if rc > 0 {
+			mat.MulVecAddRange(seg(ws.g, ws.gOff, c), m.trans[id], off, off+rc, gi)
+		}
+		off += rc
+	}
+}
+
+// leafNode is stage 5 for Apply: expand the farfield result through the
+// leaf basis and add the dense nearfield interactions.
+func (ws *Workspace) leafNode(w, k int) {
+	m := ws.m
+	id := m.Tree.Leaves[k]
+	nd := &m.Tree.Nodes[id]
+	yi := ws.curY[nd.Start:nd.End]
+	zero(yi)
+	if m.ranks[id] > 0 {
+		mat.MulVecAdd(yi, m.u[id], seg(ws.g, ws.gOff, id))
+	}
+	for _, j := range nd.Near {
+		nj := &m.Tree.Nodes[j]
+		bj := ws.curB[nj.Start:nj.End]
+		if m.Cfg.Mode == Normal {
+			m.near.Apply(yi, id, j, bj)
+			continue
+		}
+		tile := kernel.Assemble(ws.scratch[w], m.Kern, m.Tree.Points, m.leafRange(id), m.Tree.Points, m.leafRange(j))
+		mat.MulVecAdd(yi, tile, bj)
+	}
+}
+
+// upNodeT is the transpose upward sweep through the ROW generators (U, R).
+func (ws *Workspace) upNodeT(_, k int) {
+	m := ws.m
+	id := ws.level[k]
+	nd := &m.Tree.Nodes[id]
+	qi := seg(ws.q, ws.qOff, id)
+	zero(qi)
+	if len(qi) == 0 {
+		return
+	}
+	if nd.IsLeaf {
+		mat.MulTVecAdd(qi, m.u[id], ws.curB[nd.Start:nd.End])
+		return
+	}
+	off := 0
+	for _, c := range nd.Children {
+		rc := m.ranks[c]
+		if rc > 0 {
+			mat.MulTVecAddRange(qi, m.trans[id], off, off+rc, seg(ws.q, ws.qOff, c))
+		}
+		off += rc
+	}
+}
+
+// coupNodeT is the transpose coupling sweep: g_i = Σ_j B_{j,i}ᵀ q_j. The
+// interaction lists are symmetric as sets, so iterating i's own list covers
+// exactly the blocks whose transpose writes into i.
+func (ws *Workspace) coupNodeT(w, id int) {
+	m := ws.m
+	gi := seg(ws.g, ws.gOff, id)
+	zero(gi)
+	if len(gi) == 0 {
+		return
+	}
+	for _, j := range m.Tree.Nodes[id].Interaction {
+		if m.ranks[j] == 0 {
+			continue
+		}
+		qj := seg(ws.q, ws.qOff, j)
+		if m.Cfg.Mode == Normal {
+			// g_i += B_{j,i}ᵀ q_j. In triangular (symmetric) storage,
+			// Apply(g, i, j, q) already computes B_{i,j} q = B_{j,i}ᵀ q.
+			// In directed storage we must transpose the stored (j, i)
+			// block explicitly.
+			if m.coup.directed {
+				if blk := m.coup.Get(j, id); blk != nil {
+					mat.MulTVecAdd(gi, blk, qj)
+				}
+			} else {
+				m.coup.Apply(gi, id, j, qj)
+			}
+			continue
+		}
+		tile := kernel.Assemble(ws.scratch[w], m.Kern, m.skelPts[j], m.skel[j], m.skelPts[id], m.colSkeleton(id))
+		mat.MulTVecAdd(gi, tile, qj)
+	}
+}
+
+// downNodeT is the transpose downward sweep through the COLUMN generators.
+func (ws *Workspace) downNodeT(_, k int) {
+	m := ws.m
+	id := ws.level[k]
+	nd := &m.Tree.Nodes[id]
+	if nd.IsLeaf || m.colRank(id) == 0 {
+		return
+	}
+	gi := seg(ws.g, ws.gOff, id)
+	off := 0
+	for _, c := range nd.Children {
+		rc := m.colRank(c)
+		if rc > 0 {
+			mat.MulVecAddRange(seg(ws.g, ws.gOff, c), m.colTrans(id), off, off+rc, gi)
+		}
+		off += rc
+	}
+}
+
+// leafNodeT is the transpose leaf sweep: y_i = V_i g_i + Σ_j K(X_j, X_i)ᵀ b_j.
+func (ws *Workspace) leafNodeT(w, k int) {
+	m := ws.m
+	id := m.Tree.Leaves[k]
+	nd := &m.Tree.Nodes[id]
+	yi := ws.curY[nd.Start:nd.End]
+	zero(yi)
+	if m.colRank(id) > 0 {
+		mat.MulVecAdd(yi, m.colBasis(id), seg(ws.g, ws.gOff, id))
+	}
+	for _, j := range nd.Near {
+		nj := &m.Tree.Nodes[j]
+		bj := ws.curB[nj.Start:nj.End]
+		if m.Cfg.Mode == Normal {
+			if m.near.directed {
+				if blk := m.near.Get(j, id); blk != nil {
+					mat.MulTVecAdd(yi, blk, bj)
+				}
+			} else {
+				m.near.Apply(yi, id, j, bj)
+			}
+			continue
+		}
+		tile := kernel.Assemble(ws.scratch[w], m.Kern, m.Tree.Points, m.leafRange(j), m.Tree.Points, m.leafRange(id))
+		mat.MulTVecAdd(yi, tile, bj)
+	}
+}
+
+// ---- batched multi-RHS path ----
+
+// ensureBatch sizes the batch buffers for width k: the N-by-k permutation
+// buffers, one slab per rank side, and per-node matrix headers re-pointed
+// into the slabs. Everything is reused across calls; buffers only grow.
+func (ws *Workspace) ensureBatch(k int) {
+	m := ws.m
+	nNodes := len(m.Tree.Nodes)
+	if ws.bpB == nil {
+		ws.bpB = mat.NewDense(0, 0)
+		ws.ypB = mat.NewDense(0, 0)
+		ws.qB = make([]*mat.Dense, nNodes)
+		ws.gB = make([]*mat.Dense, nNodes)
+		for i := 0; i < nNodes; i++ {
+			ws.qB[i] = &mat.Dense{}
+			ws.gB[i] = &mat.Dense{}
+		}
+	}
+	for len(ws.viewIn) < len(ws.scratch) {
+		ws.viewIn = append(ws.viewIn, &mat.Dense{})
+		ws.viewOut = append(ws.viewOut, &mat.Dense{})
+	}
+	ws.bpB.Reshape(m.N, k)
+	ws.ypB.Reshape(m.N, k)
+	if need := ws.rowOff[nNodes] * k; cap(ws.rowSlabB) < need {
+		ws.rowSlabB = make([]float64, need)
+	}
+	if need := ws.colOff[nNodes] * k; cap(ws.colSlabB) < need {
+		ws.colSlabB = make([]float64, need)
+	}
+	for id := 0; id < nNodes; id++ {
+		g := ws.gB[id]
+		g.Rows, g.Cols = ws.rowOff[id+1]-ws.rowOff[id], k
+		g.Data = ws.rowSlabB[ws.rowOff[id]*k : ws.rowOff[id+1]*k]
+		q := ws.qB[id]
+		q.Rows, q.Cols = ws.colOff[id+1]-ws.colOff[id], k
+		q.Data = ws.colSlabB[ws.colOff[id]*k : ws.colOff[id+1]*k]
+	}
+	ws.k = k
+}
+
+// rowsView points header v at rows [r0, r1) of the row-major matrix a
+// (shared backing, no copy).
+func rowsView(v, a *mat.Dense, r0, r1 int) *mat.Dense {
+	v.Rows, v.Cols = r1-r0, a.Cols
+	v.Data = a.Data[r0*a.Cols : r1*a.Cols]
+	return v
+}
+
+// ApplyBatchToWith computes Y = Â B for k right-hand sides stored as the
+// columns of the N-by-k matrix B, using the caller-owned workspace. Y is
+// reshaped to N-by-k; Y and B may alias. The five sweeps run once with
+// matrix-valued node states, so every coupling and nearfield block — in
+// on-the-fly mode, every tile assembly — is visited once for the whole
+// batch instead of once per column, and each stage is a small blocked GEMM.
+func (m *Matrix) ApplyBatchToWith(ws *Workspace, Y, B *mat.Dense) {
+	if B.Rows != m.N {
+		panic(fmt.Sprintf("core: applyBatch rows %d want %d", B.Rows, m.N))
+	}
+	k := B.Cols
+	workers := par.Resolve(m.Cfg.Workers)
+	ws.check(m, workers)
+	ws.ensureBatch(k)
+
+	// Permute the batch rows.
+	for row, orig := range m.Tree.Perm {
+		copy(ws.bpB.Row(row), B.Row(orig))
+	}
+
+	for l := m.Tree.Depth() - 1; l >= 0; l-- {
+		ws.level = m.Tree.Levels[l]
+		par.ForWorker(workers, len(ws.level), ws.bUpFn)
+	}
+	par.ForWorker(workers, len(m.Tree.Nodes), ws.bCoupFn)
+	for l := 0; l < m.Tree.Depth(); l++ {
+		ws.level = m.Tree.Levels[l]
+		par.ForWorker(workers, len(ws.level), ws.bDownFn)
+	}
+	par.ForWorker(workers, len(m.Tree.Leaves), ws.bLeafFn)
+
+	// Un-permute rows into the caller's output.
+	Y.Reshape(m.N, k)
+	for row, orig := range m.Tree.Perm {
+		copy(Y.Row(orig), ws.ypB.Row(row))
+	}
+}
+
+// upNodeB is the batched upward sweep: q_i = V_iᵀ B_i for leaves,
+// q_i = Σ_c W_cᵀ q_c above.
+func (ws *Workspace) upNodeB(w, k int) {
+	m := ws.m
+	id := ws.level[k]
+	nd := &m.Tree.Nodes[id]
+	qi := ws.qB[id]
+	zero(qi.Data)
+	if qi.Rows == 0 {
+		return
+	}
+	if nd.IsLeaf {
+		mat.MulTAddTo(qi, m.colBasis(id), rowsView(ws.viewIn[w], ws.bpB, nd.Start, nd.End))
+		return
+	}
+	off := 0
+	for _, c := range nd.Children {
+		rc := m.colRank(c)
+		if rc > 0 {
+			mat.MulTRangeAddTo(qi, m.colTrans(id), off, off+rc, ws.qB[c])
+		}
+		off += rc
+	}
+}
+
+// coupNodeB is the batched coupling sweep: one stored-block application or
+// tile assembly per block for all k columns.
+func (ws *Workspace) coupNodeB(w, id int) {
+	m := ws.m
+	gi := ws.gB[id]
+	zero(gi.Data)
+	if gi.Rows == 0 {
+		return
+	}
+	for _, j := range m.Tree.Nodes[id].Interaction {
+		if m.colRank(j) == 0 {
+			continue
+		}
+		if m.Cfg.Mode == Normal {
+			m.coup.ApplyBatch(gi, id, j, ws.qB[j])
+			continue
+		}
+		tile := kernel.Assemble(ws.scratch[w], m.Kern, m.skelPts[id], m.skel[id], m.skelPts[j], m.colSkeleton(j))
+		mat.MulAddTo(gi, tile, ws.qB[j])
+	}
+}
+
+// downNodeB is the batched downward sweep: g_c += R_c g_i.
+func (ws *Workspace) downNodeB(_, k int) {
+	m := ws.m
+	id := ws.level[k]
+	nd := &m.Tree.Nodes[id]
+	if nd.IsLeaf || m.ranks[id] == 0 {
+		return
+	}
+	gi := ws.gB[id]
+	off := 0
+	for _, c := range nd.Children {
+		rc := m.ranks[c]
+		if rc > 0 {
+			mat.MulRangeAddTo(ws.gB[c], m.trans[id], off, off+rc, gi)
+		}
+		off += rc
+	}
+}
+
+// leafNodeB is the batched leaf sweep.
+func (ws *Workspace) leafNodeB(w, k int) {
+	m := ws.m
+	id := m.Tree.Leaves[k]
+	nd := &m.Tree.Nodes[id]
+	yi := rowsView(ws.viewOut[w], ws.ypB, nd.Start, nd.End)
+	zero(yi.Data)
+	if m.ranks[id] > 0 {
+		mat.MulAddTo(yi, m.u[id], ws.gB[id])
+	}
+	for _, j := range nd.Near {
+		nj := &m.Tree.Nodes[j]
+		bj := rowsView(ws.viewIn[w], ws.bpB, nj.Start, nj.End)
+		if m.Cfg.Mode == Normal {
+			m.near.ApplyBatch(yi, id, j, bj)
+			continue
+		}
+		tile := kernel.Assemble(ws.scratch[w], m.Kern, m.Tree.Points, m.leafRange(id), m.Tree.Points, m.leafRange(j))
+		mat.MulAddTo(yi, tile, bj)
+	}
+}

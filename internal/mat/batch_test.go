@@ -1,0 +1,146 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMulAddToMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 2}, {8, 8, 8}, {17, 4, 9}, {4, 17, 1}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := randDense(rng, m, n)
+		b := randDense(rng, n, k)
+		c := randDense(rng, m, k)
+		want := Mul(a, b).Add(c.Clone())
+		MulAddTo(c, a, b)
+		for i := range want.Data {
+			if math.Abs(c.Data[i]-want.Data[i]) > 1e-13 {
+				t.Fatalf("%dx%dx%d: MulAddTo differs at %d: %g vs %g", m, n, k, i, c.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestMulTAddToMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, dims := range [][3]int{{1, 1, 1}, {5, 3, 2}, {8, 8, 8}, {4, 17, 9}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := randDense(rng, m, n) // c += aᵀ b : c is n x k, b is m x k
+		b := randDense(rng, m, k)
+		c := randDense(rng, n, k)
+		want := Mul(a.T(), b).Add(c.Clone())
+		MulTAddTo(c, a, b)
+		for i := range want.Data {
+			if math.Abs(c.Data[i]-want.Data[i]) > 1e-13 {
+				t.Fatalf("%dx%dx%d: MulTAddTo differs at %d", m, n, k, i)
+			}
+		}
+	}
+}
+
+func TestMulRangeAddToMatchesSubmatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randDense(rng, 12, 5)
+	b := randDense(rng, 5, 3)
+	r0, r1 := 4, 9
+	c := randDense(rng, r1-r0, 3)
+	want := Mul(a.SubCopy(r0, r1, 0, 5), b).Add(c.Clone())
+	MulRangeAddTo(c, a, r0, r1, b)
+	for i := range want.Data {
+		if math.Abs(c.Data[i]-want.Data[i]) > 1e-13 {
+			t.Fatalf("MulRangeAddTo differs at %d", i)
+		}
+	}
+}
+
+func TestMulTRangeAddToMatchesSubmatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randDense(rng, 12, 5)
+	r0, r1 := 3, 10
+	b := randDense(rng, r1-r0, 3)
+	c := randDense(rng, 5, 3)
+	want := Mul(a.SubCopy(r0, r1, 0, 5).T(), b).Add(c.Clone())
+	MulTRangeAddTo(c, a, r0, r1, b)
+	for i := range want.Data {
+		if math.Abs(c.Data[i]-want.Data[i]) > 1e-13 {
+			t.Fatalf("MulTRangeAddTo differs at %d", i)
+		}
+	}
+}
+
+func TestBatchKernelsMatchVectorKernelsBitwise(t *testing.T) {
+	// The batched sweeps promise results identical to the per-vector sweeps,
+	// which requires each k=1 GEMM to reproduce the vector kernel bitwise
+	// (same per-element summation order).
+	rng := rand.New(rand.NewSource(11))
+	a := randDense(rng, 9, 7)
+	x := make([]float64, 7)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	yv := make([]float64, 9)
+	MulVecAdd(yv, a, x)
+	yb := NewDense(9, 1)
+	MulAddTo(yb, a, NewDenseData(7, 1, append([]float64(nil), x...)))
+	for i := range yv {
+		if yb.Data[i] != yv[i] {
+			t.Fatalf("MulAddTo k=1 not bitwise equal to MulVecAdd at %d", i)
+		}
+	}
+	xt := make([]float64, 9)
+	for i := range xt {
+		xt[i] = rng.NormFloat64()
+	}
+	ytv := make([]float64, 7)
+	MulTVecAdd(ytv, a, xt)
+	ytb := NewDense(7, 1)
+	MulTAddTo(ytb, a, NewDenseData(9, 1, append([]float64(nil), xt...)))
+	for i := range ytv {
+		if ytb.Data[i] != ytv[i] {
+			t.Fatalf("MulTAddTo k=1 not bitwise equal to MulTVecAdd at %d", i)
+		}
+	}
+	r0, r1 := 2, 7
+	yv2 := make([]float64, r1-r0)
+	MulVecAddRange(yv2, a, r0, r1, x)
+	yb2 := NewDense(r1-r0, 1)
+	MulRangeAddTo(yb2, a, r0, r1, NewDenseData(7, 1, append([]float64(nil), x...)))
+	for i := range yv2 {
+		if yb2.Data[i] != yv2[i] {
+			t.Fatalf("MulRangeAddTo k=1 not bitwise equal at %d", i)
+		}
+	}
+	xr := make([]float64, r1-r0)
+	for i := range xr {
+		xr[i] = rng.NormFloat64()
+	}
+	ytv2 := make([]float64, 7)
+	MulTVecAddRange(ytv2, a, r0, r1, xr)
+	ytb2 := NewDense(7, 1)
+	MulTRangeAddTo(ytb2, a, r0, r1, NewDenseData(r1-r0, 1, append([]float64(nil), xr...)))
+	for i := range ytv2 {
+		if ytb2.Data[i] != ytv2[i] {
+			t.Fatalf("MulTRangeAddTo k=1 not bitwise equal at %d", i)
+		}
+	}
+}
+
+func TestMulAddToShapePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MulAddTo":       func() { MulAddTo(NewDense(2, 2), NewDense(2, 3), NewDense(4, 2)) },
+		"MulTAddTo":      func() { MulTAddTo(NewDense(3, 2), NewDense(2, 4), NewDense(2, 2)) },
+		"MulRangeAddTo":  func() { MulRangeAddTo(NewDense(2, 2), NewDense(5, 3), 1, 4, NewDense(3, 2)) },
+		"MulTRangeAddTo": func() { MulTRangeAddTo(NewDense(3, 2), NewDense(5, 3), 1, 4, NewDense(2, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected shape panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -348,6 +348,100 @@ func MulTVecAdd(y []float64, a *Dense, x []float64) {
 	}
 }
 
+// MulAddTo computes c += a*b. Shapes must agree (c is a.Rows x b.Cols); c
+// must not alias a or b. Each output element accumulates its dot product in
+// a scalar before the single in-place add, mirroring MulVecAdd's summation
+// order so that applying a block to k stacked vectors reproduces the k
+// vector products digit for digit.
+func MulAddTo(c, a, b *Dense) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: muladdto shape mismatch c=%dx%d a=%dx%d b=%dx%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k, v := range arow {
+				s += v * b.Data[k*n+j]
+			}
+			crow[j] += s
+		}
+	}
+}
+
+// MulTAddTo computes c += aᵀ*b without materializing the transpose. c is
+// a.Cols x b.Cols and must not alias a or b. Accumulation runs over a's rows
+// directly into c, mirroring MulTVecAdd's summation order.
+func MulTAddTo(c, a, b *Dense) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: multaddto shape mismatch c=%dx%d a=%dx%d b=%dx%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		brow := b.Row(i)
+		for j, v := range arow {
+			if v == 0 {
+				continue
+			}
+			crow := c.Data[j*n : j*n+n]
+			for k := 0; k < n; k++ {
+				crow[k] += v * brow[k]
+			}
+		}
+	}
+}
+
+// MulRangeAddTo computes c += a[r0:r1, :]*b for the contiguous row block
+// [r0, r1) of a; c is (r1-r0) x b.Cols. It is MulVecAddRange lifted to k
+// columns, with the same per-element summation order.
+func MulRangeAddTo(c, a *Dense, r0, r1 int, b *Dense) {
+	if a.Cols != b.Rows || c.Rows != r1-r0 || c.Cols != b.Cols || r0 < 0 || r1 > a.Rows {
+		panic(fmt.Sprintf("mat: mulrangeaddto shape mismatch rows [%d,%d) of %dx%d, b %dx%d, c %dx%d",
+			r0, r1, a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	n := b.Cols
+	for i := r0; i < r1; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i - r0)
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k, v := range arow {
+				s += v * b.Data[k*n+j]
+			}
+			crow[j] += s
+		}
+	}
+}
+
+// MulTRangeAddTo computes c += a[r0:r1, :]ᵀ*b for the contiguous row block
+// [r0, r1) of a; c is a.Cols x b.Cols and b is (r1-r0) x b.Cols. It is
+// MulTVecAddRange lifted to k columns.
+func MulTRangeAddTo(c, a *Dense, r0, r1 int, b *Dense) {
+	if b.Rows != r1-r0 || c.Rows != a.Cols || c.Cols != b.Cols || r0 < 0 || r1 > a.Rows {
+		panic(fmt.Sprintf("mat: multrangeaddto shape mismatch rows [%d,%d) of %dx%d, b %dx%d, c %dx%d",
+			r0, r1, a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	n := b.Cols
+	for i := r0; i < r1; i++ {
+		arow := a.Row(i)
+		brow := b.Row(i - r0)
+		for j, v := range arow {
+			if v == 0 {
+				continue
+			}
+			crow := c.Data[j*n : j*n+n]
+			for k := 0; k < n; k++ {
+				crow[k] += v * brow[k]
+			}
+		}
+	}
+}
+
 // Dot returns the inner product of x and y.
 func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {

@@ -53,6 +53,19 @@ func (c *Cholesky) Solve(b []float64) []float64 {
 	return x
 }
 
+// SolveTo solves A x = b into an existing x, which must have length n.
+// x and b may alias (the solve copies b into x first and then works in
+// place); it performs no allocation.
+func (c *Cholesky) SolveTo(x, b []float64) {
+	n := c.L.Rows
+	if len(b) != n || len(x) != n {
+		panic(fmt.Sprintf("mat: cholesky solveTo lengths x=%d b=%d want %d", len(x), len(b), n))
+	}
+	copy(x, b)
+	SolveLowerInPlace(c.L, x)
+	SolveUpperTransposedInPlace(c.L, x)
+}
+
 // SolveLowerInPlace solves L x = b in place for lower-triangular L.
 func SolveLowerInPlace(l *Dense, x []float64) {
 	n := len(x)

@@ -43,6 +43,42 @@ func TestCholeskySolve(t *testing.T) {
 	}
 }
 
+func TestCholeskySolveTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	n := 15
+	a := randSPD(rng, n)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	b := MulVec(a, want)
+	// SolveTo must match Solve bitwise and work when x aliases b.
+	ref := ch.Solve(b)
+	x := make([]float64, n)
+	ch.SolveTo(x, b)
+	for i := range ref {
+		if x[i] != ref[i] {
+			t.Fatalf("SolveTo differs from Solve at %d", i)
+		}
+	}
+	ch.SolveTo(b, b)
+	for i := range ref {
+		if b[i] != ref[i] {
+			t.Fatalf("aliased SolveTo differs at %d", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	ch.SolveTo(make([]float64, n-1), make([]float64, n))
+}
+
 func TestCholeskyRejectsIndefinite(t *testing.T) {
 	a := NewDenseData(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
 	if _, err := NewCholesky(a); err == nil {

@@ -1,0 +1,168 @@
+package solver
+
+import (
+	"math"
+
+	"h2ds/internal/mat"
+)
+
+// BatchOperator is an operator that can apply itself to a block of
+// right-hand sides at once (Y = A B for N-by-k matrices). core.Matrix
+// satisfies it via ApplyBatchTo; the batched product visits every coupling
+// and nearfield block — in on-the-fly mode, every kernel tile assembly —
+// once for the whole block instead of once per column.
+type BatchOperator interface {
+	ApplyBatchTo(y, b *mat.Dense)
+}
+
+// ShiftedBatch wraps a batch operator as A + σI, the multi-RHS twin of
+// Shifted.
+type ShiftedBatch struct {
+	Op    BatchOperator
+	Sigma float64
+}
+
+// ApplyBatchTo implements BatchOperator.
+func (s ShiftedBatch) ApplyBatchTo(y, b *mat.Dense) {
+	s.Op.ApplyBatchTo(y, b)
+	if s.Sigma != 0 {
+		for i, v := range b.Data {
+			y.Data[i] += s.Sigma * v
+		}
+	}
+}
+
+// CGMulti solves A X = B column by column for symmetric positive definite A
+// with conjugate gradients, sharing one batched matrix-vector product per
+// iteration across all k right-hand sides. Each column runs the exact CG
+// recurrence it would run alone (its own alpha/beta and stopping test), so
+// the returned per-column results match k independent CG solves; the
+// batching only amortizes the operator applications. Columns that converge
+// early have their search direction zeroed and stop updating while the rest
+// finish.
+func CGMulti(a BatchOperator, B *mat.Dense, tol float64, maxIter int) []Result {
+	n, k := B.Rows, B.Cols
+	if maxIter <= 0 {
+		maxIter = n
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	x := mat.NewDense(n, k)
+	r := B.Clone()
+	p := B.Clone()
+	ap := mat.NewDense(n, k)
+
+	results := make([]Result, k)
+	done := make([]bool, k)
+	bnorm := make([]float64, k)
+	rr := make([]float64, k)
+	active := 0
+	for j := 0; j < k; j++ {
+		bnorm[j] = colNorm2(B, j)
+		rr[j] = colDot(r, r, j)
+		if bnorm[j] == 0 {
+			results[j].Converged = true
+			done[j] = true
+			zeroCol(p, j)
+			continue
+		}
+		active++
+	}
+
+	for it := 0; it < maxIter && active > 0; it++ {
+		a.ApplyBatchTo(ap, p)
+		for j := 0; j < k; j++ {
+			if done[j] {
+				continue
+			}
+			pap := colDot(p, ap, j)
+			if pap <= 0 {
+				// Not SPD (or numerically singular): stop with best iterate.
+				results[j].Residual = math.Sqrt(rr[j]) / bnorm[j]
+				done[j] = true
+				active--
+				zeroCol(p, j)
+				continue
+			}
+			alpha := rr[j] / pap
+			colAxpy(alpha, p, x, j)
+			colAxpy(-alpha, ap, r, j)
+			rrNew := colDot(r, r, j)
+			results[j].Iterations = it + 1
+			if math.Sqrt(rrNew) <= tol*bnorm[j] {
+				results[j].Residual = math.Sqrt(rrNew) / bnorm[j]
+				results[j].Converged = true
+				done[j] = true
+				active--
+				zeroCol(p, j)
+				continue
+			}
+			beta := rrNew / rr[j]
+			for i := 0; i < n; i++ {
+				p.Data[i*k+j] = r.Data[i*k+j] + beta*p.Data[i*k+j]
+			}
+			rr[j] = rrNew
+		}
+	}
+
+	for j := 0; j < k; j++ {
+		xj := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xj[i] = x.At(i, j)
+		}
+		results[j].X = xj
+		if !done[j] && bnorm[j] > 0 {
+			results[j].Residual = math.Sqrt(rr[j]) / bnorm[j]
+		}
+	}
+	return results
+}
+
+// colDot returns the dot product of column j of a and b.
+func colDot(a, b *mat.Dense, j int) float64 {
+	k := a.Cols
+	s := 0.0
+	for i := 0; i < a.Rows; i++ {
+		s += a.Data[i*k+j] * b.Data[i*k+j]
+	}
+	return s
+}
+
+// colNorm2 returns the Euclidean norm of column j of a, with overflow
+// guarding.
+func colNorm2(a *mat.Dense, j int) float64 {
+	k := a.Cols
+	maxAbs := 0.0
+	for i := 0; i < a.Rows; i++ {
+		if w := math.Abs(a.Data[i*k+j]); w > maxAbs {
+			maxAbs = w
+		}
+	}
+	if maxAbs == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < a.Rows; i++ {
+		w := a.Data[i*k+j] / maxAbs
+		sum += w * w
+	}
+	return maxAbs * math.Sqrt(sum)
+}
+
+// colAxpy computes column j of y += alpha * column j of x.
+func colAxpy(alpha float64, x, y *mat.Dense, j int) {
+	k := x.Cols
+	for i := 0; i < x.Rows; i++ {
+		y.Data[i*k+j] += alpha * x.Data[i*k+j]
+	}
+}
+
+// zeroCol clears column j of a so a converged column contributes nothing to
+// subsequent batched products.
+func zeroCol(a *mat.Dense, j int) {
+	k := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		a.Data[i*k+j] = 0
+	}
+}
