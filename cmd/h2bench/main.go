@@ -7,7 +7,8 @@
 //	h2bench -exp table1 -scale paper  # the paper's problem sizes
 //
 // Experiments: fig2, fig4, fig5, fig6, table1, fig7, fig8, fig9, ablation,
-// rhs (multi-RHS batch apply; sweep width with -rhs).
+// rhs (multi-RHS batch apply; sweep width with -rhs), serve (request
+// batching under concurrent load; tune with -conc and -window).
 // Output is a plain-text report with one aligned table per panel; see
 // EXPERIMENTS.md for how each maps onto the paper.
 package main
@@ -17,8 +18,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"h2ds/internal/bench"
+	"h2ds/internal/kernel"
 )
 
 func main() {
@@ -29,7 +32,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	reps := flag.Int("reps", 3, "matvec repetitions per timing")
 	rhs := flag.Int("rhs", 8, "largest batch width for the multi-RHS sweep (rhs experiment)")
+	kern := flag.String("kernel", "coulomb", "kernel for single-kernel experiments: "+strings.Join(kernel.Names(), ", "))
+	conc := flag.Int("conc", 32, "client concurrency (serve experiment)")
+	window := flag.Duration("window", 500*time.Microsecond, "batcher flush window (serve experiment)")
 	flag.Parse()
+
+	if _, err := kernel.ByName(*kern); err != nil {
+		fmt.Fprintf(os.Stderr, "h2bench: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "h2bench: -exp is required")
@@ -43,6 +54,9 @@ func main() {
 		Seed:       *seed,
 		MatVecReps: *reps,
 		RHS:        *rhs,
+		Kernel:     *kern,
+		Conc:       *conc,
+		Window:     *window,
 		Out:        os.Stdout,
 	}
 	if err := bench.Run(*exp, opt); err != nil {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"h2ds/internal/core"
 	"h2ds/internal/kernel"
@@ -24,7 +25,7 @@ func main() {
 	n := flag.Int("n", 20000, "number of points")
 	dim := flag.Int("dim", 3, "dimension (cube distribution only)")
 	dist := flag.String("dist", "cube", "distribution: cube, sphere, dino, ball, mixture")
-	kern := flag.String("kernel", "coulomb", "kernel: coulomb, coulomb3, exp, gaussian, matern32, matern52, imq, thinplate")
+	kern := flag.String("kernel", "coulomb", "kernel: "+strings.Join(kernel.Names(), ", "))
 	tol := flag.Float64("tol", 1e-8, "target relative accuracy")
 	basis := flag.String("basis", "dd", "construction: dd (data-driven) or interp")
 	mem := flag.String("mem", "otf", "memory mode: normal or otf")
@@ -41,9 +42,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "h2info: unknown distribution %q\n", *dist)
 		os.Exit(2)
 	}
-	k, ok := kernel.Named(*kern)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "h2info: unknown kernel %q\n", *kern)
+	k, err := kernel.ByName(*kern)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "h2info: %v\n", err)
 		os.Exit(2)
 	}
 	s, ok := sample.Named(*samplerName)

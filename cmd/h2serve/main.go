@@ -1,0 +1,253 @@
+// Command h2serve exposes one H² matrix as an HTTP matvec service. At
+// startup it either builds the matrix from a synthetic workload (the same
+// knobs as h2info) or loads a serialized one (-load, written by
+// core.Matrix.WriteTo), then serves concurrent products through an
+// internal/serve.Batcher so independent requests coalesce into batched
+// applies.
+//
+// Endpoints:
+//
+//	POST /apply    {"b": [...]} -> {"y": [...]}; per-request deadline via
+//	               -timeout, 503 on queue-full backpressure
+//	GET  /stats    batcher counters/histograms plus matrix shape, as JSON
+//	GET  /healthz  liveness probe
+//
+// SIGINT/SIGTERM shut down gracefully: the listener stops, in-flight and
+// queued requests drain through the batcher, then the process exits.
+//
+// Usage:
+//
+//	h2serve -n 20000 -kernel coulomb -mem otf -addr :8080
+//	h2serve -load matrix.h2 -kernel coulomb
+//	curl -s localhost:8080/apply -d '{"b": [0.1, 0.2, ...]}'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"h2ds/internal/core"
+	"h2ds/internal/kernel"
+	"h2ds/internal/pointset"
+	"h2ds/internal/sample"
+	"h2ds/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "h2serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	load := flag.String("load", "", "serialized matrix to serve (from core.Matrix.WriteTo); skips the build")
+	save := flag.String("save", "", "write the built matrix to this path before serving")
+
+	n := flag.Int("n", 20000, "number of points (build mode)")
+	dim := flag.Int("dim", 3, "dimension (cube distribution only)")
+	dist := flag.String("dist", "cube", "distribution: cube, sphere, dino, ball, mixture")
+	kern := flag.String("kernel", "coulomb", "kernel: "+strings.Join(kernel.Names(), ", "))
+	tol := flag.Float64("tol", 1e-6, "target relative accuracy")
+	basis := flag.String("basis", "dd", "construction: dd (data-driven) or interp")
+	mem := flag.String("mem", "otf", "memory mode: normal or otf")
+	leaf := flag.Int("leaf", 0, "leaf size (0 = default)")
+	threads := flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
+	samplerName := flag.String("sampler", "anchornet", "sampler: anchornet, fps, random")
+	seed := flag.Int64("seed", 1, "workload seed")
+
+	maxBatch := flag.Int("maxbatch", 16, "flush a batch at this many pending requests")
+	window := flag.Duration("window", 500*time.Microsecond, "flush a partial batch this long after its first request")
+	queue := flag.Int("queue", 0, "queue limit (0 = 4x maxbatch)")
+	block := flag.Bool("block", false, "block at queue limit instead of failing fast with 503")
+	flushers := flag.Int("flushers", 2, "concurrent flush workers")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline for /apply (0 = none)")
+	flag.Parse()
+
+	k, err := kernel.ByName(*kern)
+	if err != nil {
+		return err
+	}
+
+	var m *core.Matrix
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			return err
+		}
+		m, err = core.Read(f, k)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("load %s: %w", *load, err)
+		}
+		fmt.Printf("h2serve: loaded %s: n=%d dim=%d kernel=%s mode=%v\n",
+			*load, m.N, m.Dim, k.Name(), m.Cfg.Mode)
+	} else {
+		pts, ok := pointset.Named(*dist, *n, *dim, *seed)
+		if !ok {
+			return fmt.Errorf("unknown distribution %q", *dist)
+		}
+		s, ok := sample.Named(*samplerName)
+		if !ok {
+			return fmt.Errorf("unknown sampler %q", *samplerName)
+		}
+		cfg := core.Config{Tol: *tol, LeafSize: *leaf, Workers: *threads, Sampler: s}
+		switch *basis {
+		case "dd":
+			cfg.Kind = core.DataDriven
+		case "interp":
+			cfg.Kind = core.Interpolation
+		default:
+			return fmt.Errorf("unknown basis %q", *basis)
+		}
+		switch *mem {
+		case "normal":
+			cfg.Mode = core.Normal
+		case "otf":
+			cfg.Mode = core.OnTheFly
+		default:
+			return fmt.Errorf("unknown memory mode %q", *mem)
+		}
+		t0 := time.Now()
+		m, err = core.Build(pts, k, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("h2serve: built n=%d dim=%d dist=%s kernel=%s mode=%v in %v\n",
+			*n, pts.Dim, *dist, k.Name(), cfg.Mode, time.Since(t0).Round(time.Millisecond))
+		if *save != "" {
+			f, err := os.Create(*save)
+			if err != nil {
+				return err
+			}
+			if _, err := m.WriteTo(f); err != nil {
+				f.Close()
+				return fmt.Errorf("save %s: %w", *save, err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("h2serve: wrote %s\n", *save)
+		}
+	}
+
+	b := serve.NewBatcher(m, serve.Config{
+		MaxBatch:    *maxBatch,
+		FlushWindow: *window,
+		QueueLimit:  *queue,
+		Block:       *block,
+		Flushers:    *flushers,
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/apply", applyHandler(b, *timeout))
+	mux.HandleFunc("/stats", statsHandler(b, k.Name()))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	srv := &http.Server{Addr: *addr, Handler: mux}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("h2serve: listening on %s (maxbatch=%d window=%v queue=%d block=%v flushers=%d)\n",
+		*addr, *maxBatch, *window, *queue, *block, *flushers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		b.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("h2serve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err = srv.Shutdown(shutCtx)
+	b.Close() // drains every admitted request
+	st := b.Stats()
+	fmt.Printf("h2serve: served %d requests in %d batches (mean occupancy %.1f)\n",
+		st.Served, st.Batches, st.BatchOccupancy.Mean)
+	return err
+}
+
+// applyRequest and applyResponse are the /apply wire format.
+type applyRequest struct {
+	B []float64 `json:"b"`
+}
+
+type applyResponse struct {
+	Y []float64 `json:"y"`
+}
+
+func applyHandler(b *serve.Batcher, timeout time.Duration) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req applyRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		ctx := r.Context()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		y, err := b.Apply(ctx, req.B)
+		switch {
+		case err == nil:
+		case errors.Is(err, serve.ErrQueueFull) || errors.Is(err, serve.ErrClosed):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case errors.Is(err, context.DeadlineExceeded):
+			http.Error(w, err.Error(), http.StatusGatewayTimeout)
+			return
+		case errors.Is(err, context.Canceled):
+			// Client went away; nothing useful to write.
+			return
+		default:
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(applyResponse{Y: y})
+	}
+}
+
+func statsHandler(b *serve.Batcher, kernelName string) http.HandlerFunc {
+	type matrixInfo struct {
+		N      int    `json:"n"`
+		Dim    int    `json:"dim"`
+		Kernel string `json:"kernel"`
+		Mode   string `json:"mode"`
+		Basis  string `json:"basis"`
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		m := b.Matrix()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Matrix matrixInfo  `json:"matrix"`
+			Serve  serve.Stats `json:"serve"`
+		}{
+			Matrix: matrixInfo{
+				N: m.N, Dim: m.Dim, Kernel: kernelName,
+				Mode: m.Cfg.Mode.String(), Basis: m.Cfg.Kind.String(),
+			},
+			Serve: b.Stats(),
+		})
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"h2ds/internal/core"
 	"h2ds/internal/kernel"
@@ -52,6 +53,7 @@ func coveringRank(m *core.Matrix, ancestors [][]int, la, lb int) int {
 func main() {
 	n := flag.Int("n", 2000, "number of points")
 	dist := flag.String("dist", "cube", "distribution: cube, sphere, dino")
+	kern := flag.String("kernel", "coulomb", "kernel: "+strings.Join(kernel.Names(), ", "))
 	tol := flag.Float64("tol", 1e-7, "target relative accuracy (the paper's Fig 2 uses 1e-7)")
 	leaf := flag.Int("leaf", 100, "leaf size")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -62,7 +64,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "h2view: unknown distribution %q\n", *dist)
 		os.Exit(2)
 	}
-	k := kernel.Coulomb{}
+	k, err := kernel.ByName(*kern)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "h2view: %v\n", err)
+		os.Exit(2)
+	}
 	dd, err := core.Build(pts, k, core.Config{Kind: core.DataDriven, Mode: core.OnTheFly, Tol: *tol, LeafSize: *leaf})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "h2view:", err)
@@ -89,7 +95,7 @@ func main() {
 		}
 	}
 
-	fmt.Printf("block ranks over %d leaves (n=%d %s, coulomb, tol=%.0e)\n", len(leaves), *n, *dist, *tol)
+	fmt.Printf("block ranks over %d leaves (n=%d %s, %s, tol=%.0e)\n", len(leaves), *n, *dist, k.Name(), *tol)
 	fmt.Printf("lower triangle: interpolation (rank %d everywhere) — upper triangle: data-driven\n", ip.Stats().MaxRank)
 	fmt.Printf("'**' nearfield (dense, the figure's red cells), '..' diagonal\n\n")
 	for a, la := range leaves {

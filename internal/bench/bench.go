@@ -41,6 +41,14 @@ type Options struct {
 	// RHS is the largest right-hand-side batch width the multi-RHS
 	// experiment sweeps (powers of two up to this; 0 = 8).
 	RHS int
+	// Kernel names the kernel for experiments that take one ("" =
+	// "coulomb"); resolved through kernel.ByName.
+	Kernel string
+	// Conc is the client concurrency for the serve experiment (0 = 32).
+	Conc int
+	// Window is the batcher flush window for the serve experiment
+	// (0 = 500µs).
+	Window time.Duration
 	// Out receives the report (nil = io.Discard).
 	Out io.Writer
 }
@@ -66,6 +74,28 @@ func (o Options) rhs() int {
 	return o.RHS
 }
 
+func (o Options) kernel() (kernel.Kernel, error) {
+	name := o.Kernel
+	if name == "" {
+		name = "coulomb"
+	}
+	return kernel.ByName(name)
+}
+
+func (o Options) conc() int {
+	if o.Conc <= 0 {
+		return 32
+	}
+	return o.Conc
+}
+
+func (o Options) window() time.Duration {
+	if o.Window <= 0 {
+		return 500 * time.Microsecond
+	}
+	return o.Window
+}
+
 func (o Options) sampler() sample.Sampler {
 	s, ok := sample.Named(o.Sampler)
 	if !ok {
@@ -83,7 +113,7 @@ func (o Options) seed() int64 {
 
 // Experiments lists the runnable experiment ids in paper order.
 func Experiments() []string {
-	return []string{"fig2", "fig4", "fig5", "fig6", "table1", "fig7", "fig8", "fig9", "ablation", "rhs"}
+	return []string{"fig2", "fig4", "fig5", "fig6", "table1", "fig7", "fig8", "fig9", "ablation", "rhs", "serve"}
 }
 
 // Run executes one experiment ("fig2", ..., "table1", "ablation") or "all".
@@ -109,6 +139,8 @@ func Run(exp string, opt Options) error {
 		return Ablation(opt)
 	case "rhs":
 		return MultiRHS(opt)
+	case "serve":
+		return ServeBench(opt)
 	case "all":
 		for _, e := range Experiments() {
 			if err := Run(e, opt); err != nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"h2ds/internal/core"
 	"h2ds/internal/kernel"
@@ -12,7 +13,7 @@ import (
 
 // tinyOpt returns options small enough for unit tests.
 func tinyOpt(buf *bytes.Buffer) Options {
-	return Options{Scale: "tiny", Threads: 2, Seed: 1, MatVecReps: 1, Out: buf}
+	return Options{Scale: "tiny", Threads: 2, Seed: 1, MatVecReps: 1, Conc: 4, Out: buf}
 }
 
 func TestMeasureProducesSaneNumbers(t *testing.T) {
@@ -42,7 +43,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestExperimentsList(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 10 {
+	if len(ids) != 11 {
 		t.Fatalf("experiment list changed unexpectedly: %v", ids)
 	}
 	seen := map[string]bool{}
@@ -131,6 +132,18 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.rhs() != 8 {
 		t.Fatal("default rhs")
 	}
+	if k, err := o.kernel(); err != nil || k.Name() != "coulomb" {
+		t.Fatalf("default kernel: %v, %v", k, err)
+	}
+	if o.conc() != 32 {
+		t.Fatal("default conc")
+	}
+	if o.window() != 500*time.Microsecond {
+		t.Fatal("default window")
+	}
+	if _, err := (Options{Kernel: "nope"}).kernel(); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
 	if o.out() == nil {
 		t.Fatal("default out")
 	}
@@ -158,6 +171,8 @@ func TestRunnersSmoke(t *testing.T) {
 		{"fig8", []string{"tolerance sweep", "1e-02", "1e-08"}},
 		{"fig9", []string{"kernel coulomb", "kernel coulomb3", "kernel exp", "kernel gaussian"}},
 		{"rhs", []string{"multi-RHS batch apply", "batched apply vs sequential", "on-the-fly", "speedup"}},
+		{"serve", []string{"request batching under concurrent load", "per-request", "batched",
+			`BENCH {"exp":"serve"`, `"speedup"`}},
 	} {
 		var buf bytes.Buffer
 		opt := tinyOpt(&buf)

@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"h2ds/internal/core"
+	"h2ds/internal/pointset"
+	"h2ds/internal/serve"
+)
+
+// ServeBench measures the request-batching service against naive
+// per-request applies under concurrent offered load: the traffic shape the
+// serving subsystem exists for. Closed-loop clients (one outstanding
+// request each) hammer one shared matrix; the naive mode calls ApplyTo
+// per request, the batched mode goes through a serve.Batcher whose flushes
+// visit every coupling/nearfield block once per batch. Reported per mode:
+// throughput and p50/p99 request latency, plus machine-readable BENCH JSON
+// lines for tracking.
+func ServeBench(opt Options) error {
+	out := opt.out()
+	k, err := opt.kernel()
+	if err != nil {
+		return err
+	}
+	n := 20000
+	switch opt.Scale {
+	case "tiny":
+		n = 1500
+	case "medium":
+		n = 40000
+	case "paper":
+		n = 80000
+	}
+	conc := opt.conc()
+	window := opt.window()
+	perClient := 8
+	if opt.Scale == "tiny" {
+		perClient = 4
+	}
+
+	fmt.Fprintf(out, "\n# serve: request batching under concurrent load (n=%d, 3-D cube, %s, on-the-fly, conc=%d, window=%v)\n",
+		n, k.Name(), conc, window)
+
+	pts := pointset.Cube(n, 3, opt.seed())
+	m, err := core.Build(pts, k, core.Config{
+		Kind: core.DataDriven, Mode: core.OnTheFly, Tol: 1e-6,
+		LeafSize: leafSizeFor(n), Workers: opt.Threads, Sampler: opt.sampler(),
+	})
+	if err != nil {
+		return err
+	}
+
+	// A few distinct request vectors shared round-robin across clients.
+	nv := 8
+	if nv > conc {
+		nv = conc
+	}
+	ins := make([][]float64, nv)
+	for v := range ins {
+		ins[v] = randVec(n, opt.seed()+7+int64(v))
+	}
+
+	// Correctness gate: the batched path must agree with the sequential
+	// reference to near machine precision before any timing is reported.
+	s := serve.NewBatcher(m, serve.Config{
+		MaxBatch: conc, FlushWindow: window, QueueLimit: 4 * conc,
+	})
+	defer s.Close()
+	ref := m.Apply(ins[0])
+	got, err := s.Apply(context.Background(), ins[0])
+	if err != nil {
+		return err
+	}
+	maxRel := 0.0
+	for i, v := range ref {
+		if d := math.Abs(got[i]-v) / (1 + math.Abs(v)); d > maxRel {
+			maxRel = d
+		}
+	}
+	if maxRel > 1e-14 {
+		return fmt.Errorf("bench: batched result diverges from sequential apply (maxreldiff %.1e)", maxRel)
+	}
+
+	naive := func(v []float64) error {
+		y := make([]float64, n)
+		m.ApplyTo(y, v)
+		return nil
+	}
+	batched := func(v []float64) error {
+		_, err := s.Apply(context.Background(), v)
+		return err
+	}
+
+	tb := newTable(out, "batched service vs per-request apply",
+		"mode", "conc", "requests", "wall_ms", "rps", "p50_ms", "p99_ms")
+	type measured struct {
+		rps, p50, p99 float64
+	}
+	results := map[string]measured{}
+	for _, mode := range []struct {
+		name  string
+		apply func([]float64) error
+	}{{"per-request", naive}, {"batched", batched}} {
+		// Warm-up pass at full concurrency, then the timed run.
+		if err := offerLoad(conc, 1, ins, mode.apply, nil); err != nil {
+			return err
+		}
+		var lats []time.Duration
+		t0 := time.Now()
+		if err := offerLoad(conc, perClient, ins, mode.apply, &lats); err != nil {
+			return err
+		}
+		wall := time.Since(t0)
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		total := len(lats)
+		p50 := lats[total/2]
+		p99 := lats[(total*99)/100]
+		r := measured{
+			rps: float64(total) / wall.Seconds(),
+			p50: float64(p50.Microseconds()) / 1000,
+			p99: float64(p99.Microseconds()) / 1000,
+		}
+		results[mode.name] = r
+		tb.row(mode.name, fmt.Sprintf("%d", conc), fmt.Sprintf("%d", total),
+			fmt.Sprintf("%.1f", float64(wall.Microseconds())/1000),
+			fmt.Sprintf("%.1f", r.rps),
+			fmt.Sprintf("%.2f", r.p50), fmt.Sprintf("%.2f", r.p99))
+	}
+	tb.flush()
+
+	speedup := results["batched"].rps / results["per-request"].rps
+	st := s.Stats()
+	fmt.Fprintf(out, "\nthroughput speedup %.2fx; batcher: %d batches, occupancy mean %.1f p99 %d, queue wait p99 %dµs, maxreldiff %.1e\n",
+		speedup, st.Batches, st.BatchOccupancy.Mean, st.BatchOccupancy.P99, st.QueueWaitUS.P99, maxRel)
+
+	for _, name := range []string{"per-request", "batched"} {
+		r := results[name]
+		line := struct {
+			Exp        string  `json:"exp"`
+			N          int     `json:"n"`
+			Kernel     string  `json:"kernel"`
+			Conc       int     `json:"conc"`
+			WindowUS   int64   `json:"window_us"`
+			Mode       string  `json:"mode"`
+			RPS        float64 `json:"rps"`
+			P50MS      float64 `json:"p50_ms"`
+			P99MS      float64 `json:"p99_ms"`
+			Speedup    float64 `json:"speedup,omitempty"`
+			MaxRelDiff float64 `json:"maxreldiff"`
+		}{
+			Exp: "serve", N: n, Kernel: k.Name(), Conc: conc,
+			WindowUS: window.Microseconds(), Mode: name,
+			RPS: r.rps, P50MS: r.p50, P99MS: r.p99, MaxRelDiff: maxRel,
+		}
+		if name == "batched" {
+			line.Speedup = speedup
+		}
+		js, err := json.Marshal(line)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "BENCH %s\n", js)
+	}
+	return nil
+}
+
+// offerLoad runs conc closed-loop clients, each issuing perClient requests
+// round-robin over the input vectors. When lats is non-nil, per-request
+// latencies are appended to it. The first request error aborts the run.
+func offerLoad(conc, perClient int, ins [][]float64, apply func([]float64) error, lats *[]time.Duration) error {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, perClient)
+			for r := 0; r < perClient; r++ {
+				b := ins[(c+r)%len(ins)]
+				t0 := time.Now()
+				if err := apply(b); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+			if lats != nil {
+				mu.Lock()
+				*lats = append(*lats, local...)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	return first
+}

@@ -118,6 +118,12 @@ func (ws *Workspace) check(m *Matrix, workers int) {
 	ws.growScratch(workers)
 }
 
+// BatchWidth returns the multi-RHS width the batch buffers are currently
+// shaped for: the k of the most recent ApplyBatchToWith call, or 0 before
+// the first one. Serving layers read it to report the effective coalescing
+// width a reused workspace is operating at.
+func (ws *Workspace) BatchWidth() int { return ws.k }
+
 // Bytes returns the deterministic payload size of the vector-path buffers
 // (permute buffers plus both rank slabs). Scratch tiles are accounted
 // separately (MemoryStats.ScratchPerWorker); batch slabs grow with the

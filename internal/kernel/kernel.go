@@ -9,7 +9,9 @@
 package kernel
 
 import (
+	"fmt"
 	"math"
+	"strings"
 
 	"h2ds/internal/mat"
 	"h2ds/internal/pointset"
@@ -235,29 +237,48 @@ func (ThinPlate) Symmetric() bool { return true }
 // Name implements Kernel.
 func (ThinPlate) Name() string { return "thinplate" }
 
+// registry maps harness names to kernel constructors with their standard
+// parameters (the paper's settings where it fixes one). registryNames keeps
+// the presentation order for help text and error messages.
+var (
+	registry = map[string]func() Kernel{
+		"coulomb":   func() Kernel { return Coulomb{} },
+		"coulomb3":  func() Kernel { return CoulombCubed{} },
+		"exp":       func() Kernel { return Exponential{} },
+		"gaussian":  func() Kernel { return Gaussian{Scale: 0.1} },
+		"matern32":  func() Kernel { return Matern32{Length: 1} },
+		"matern52":  func() Kernel { return Matern52{Length: 1} },
+		"imq":       func() Kernel { return InverseMultiquadric{C: 1} },
+		"thinplate": func() Kernel { return ThinPlate{} },
+	}
+	registryNames = []string{"coulomb", "coulomb3", "exp", "gaussian",
+		"matern32", "matern52", "imq", "thinplate"}
+)
+
+// Names returns the registered kernel names in presentation order. Command
+// flag help derives its kernel list from this, so the binaries stay in sync
+// with the registry.
+func Names() []string { return append([]string(nil), registryNames...) }
+
 // Named returns the kernel for a harness name. It returns false for unknown
 // names.
 func Named(name string) (Kernel, bool) {
-	switch name {
-	case "coulomb":
-		return Coulomb{}, true
-	case "coulomb3":
-		return CoulombCubed{}, true
-	case "exp":
-		return Exponential{}, true
-	case "gaussian":
-		return Gaussian{Scale: 0.1}, true
-	case "matern32":
-		return Matern32{Length: 1}, true
-	case "matern52":
-		return Matern52{Length: 1}, true
-	case "imq":
-		return InverseMultiquadric{C: 1}, true
-	case "thinplate":
-		return ThinPlate{}, true
-	default:
+	mk, ok := registry[name]
+	if !ok {
 		return nil, false
 	}
+	return mk(), true
+}
+
+// ByName is the error-reporting form of Named shared by the command-line
+// frontends: unknown names produce an error that lists every valid kernel.
+func ByName(name string) (Kernel, error) {
+	k, ok := Named(name)
+	if !ok {
+		return nil, fmt.Errorf("kernel: unknown kernel %q (valid: %s)",
+			name, strings.Join(registryNames, ", "))
+	}
+	return k, nil
 }
 
 // Assemble fills dst (reshaped to len(rows) x len(cols)) with the kernel

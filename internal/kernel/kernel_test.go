@@ -3,6 +3,7 @@ package kernel
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -85,6 +86,33 @@ func TestNamed(t *testing.T) {
 	}
 	if _, ok := Named("nope"); ok {
 		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("empty registry")
+	}
+	for _, name := range names {
+		k, err := ByName(name)
+		if err != nil || k.Name() != name {
+			t.Fatalf("ByName(%q) -> %v, %v", name, k, err)
+		}
+	}
+	_, err := ByName("nope")
+	if err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	for _, name := range names {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list valid kernel %q", err, name)
+		}
+	}
+	// Names returns a copy: mutating it must not corrupt the registry.
+	names[0] = "mutated"
+	if got := Names()[0]; got == "mutated" {
+		t.Fatal("Names exposed internal storage")
 	}
 }
 

@@ -1,0 +1,395 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"h2ds/internal/core"
+	"h2ds/internal/kernel"
+	"h2ds/internal/pointset"
+)
+
+var (
+	testMatOnce sync.Once
+	testMat     *core.Matrix
+)
+
+// testMatrix returns one shared small on-the-fly matrix: batcher tests only
+// need a frozen matrix, and sharing it keeps the -race suite fast.
+func testMatrix(t *testing.T) *core.Matrix {
+	t.Helper()
+	testMatOnce.Do(func() {
+		pts := pointset.Cube(600, 3, 11)
+		m, err := core.Build(pts, kernel.Coulomb{},
+			core.Config{Kind: core.DataDriven, Mode: core.OnTheFly, Tol: 1e-6, LeafSize: 50})
+		if err != nil {
+			panic(err)
+		}
+		testMat = m
+	})
+	return testMat
+}
+
+func randVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func maxRelDiff(a, b []float64) float64 {
+	d := 0.0
+	for i, v := range a {
+		if r := math.Abs(b[i]-v) / (1 + math.Abs(v)); r > d {
+			d = r
+		}
+	}
+	return d
+}
+
+// TestBatcherMatchesSequential hammers the batcher from many goroutines and
+// checks every coalesced result against the sequential reference product.
+func TestBatcherMatchesSequential(t *testing.T) {
+	m := testMatrix(t)
+	const vecs, perG = 8, 12
+	refs := make([][]float64, vecs)
+	ins := make([][]float64, vecs)
+	for v := 0; v < vecs; v++ {
+		ins[v] = randVec(m.N, int64(100+v))
+		refs[v] = m.Apply(ins[v])
+	}
+
+	s := NewBatcher(m, Config{MaxBatch: 8, FlushWindow: 200 * time.Microsecond})
+	defer s.Close()
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < perG; r++ {
+				v := (g + r) % vecs
+				y, err := s.Apply(context.Background(), ins[v])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if d := maxRelDiff(refs[v], y); d > 1e-14 {
+					errCh <- errors.New("batched result diverges from sequential reference")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	st := s.Stats()
+	if st.Served != int64(workers*perG) {
+		t.Fatalf("served %d, want %d", st.Served, workers*perG)
+	}
+	if st.Submitted != st.Served {
+		t.Fatalf("submitted %d != served %d with no drops", st.Submitted, st.Served)
+	}
+	if st.Batches == 0 || st.Batches > st.Served {
+		t.Fatalf("implausible batch count %d for %d requests", st.Batches, st.Served)
+	}
+	if st.BatchOccupancy.Count != st.Batches {
+		t.Fatalf("occupancy count %d != batches %d", st.BatchOccupancy.Count, st.Batches)
+	}
+	if st.QueueWaitUS.Count != st.Served || st.FlushUS.Count != st.Batches {
+		t.Fatalf("histogram counts inconsistent: %+v", st)
+	}
+	if st.QueueWaitUS.P50 > st.QueueWaitUS.P99 {
+		t.Fatalf("p50 %d > p99 %d", st.QueueWaitUS.P50, st.QueueWaitUS.P99)
+	}
+}
+
+// TestDeadlineDroppedBeforePack parks a request behind a long flush window,
+// lets its deadline expire, and checks it is dropped at pack time: counted
+// as a deadline drop, never served.
+func TestDeadlineDroppedBeforePack(t *testing.T) {
+	m := testMatrix(t)
+	s := NewBatcher(m, Config{MaxBatch: 64, FlushWindow: 60 * time.Millisecond})
+	defer s.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	b := randVec(m.N, 1)
+	if _, err := s.Apply(ctx, b); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	// The flush fires well after the deadline; wait for it to account the drop.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st := s.Stats()
+		if st.DroppedDeadline == 1 {
+			if st.Served != 0 || st.Batches != 0 {
+				t.Fatalf("expired request was served: %+v", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("deadline drop never recorded: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCancellationDropsFromBatch cancels one of two queued requests before
+// the window fires: the batch packs only the live one.
+func TestCancellationDropsFromBatch(t *testing.T) {
+	m := testMatrix(t)
+	s := NewBatcher(m, Config{MaxBatch: 64, FlushWindow: 40 * time.Millisecond})
+	defer s.Close()
+
+	ctxDead, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before it can ever be packed
+	b := randVec(m.N, 2)
+	if _, err := s.Apply(ctxDead, b); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	want := m.Apply(b)
+	got, err := s.Apply(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxRelDiff(want, got); d > 1e-14 {
+		t.Fatalf("live request corrupted by canceled batchmate: reldiff %g", d)
+	}
+	st := s.Stats()
+	if st.DroppedCanceled != 1 || st.Served != 1 {
+		t.Fatalf("drops/served = %d/%d, want 1/1 (%+v)", st.DroppedCanceled, st.Served, st)
+	}
+}
+
+// stallFlushes returns a batcher whose single flush worker blocks until
+// release is called, making queue states deterministic.
+func stallFlushes(m *core.Matrix, cfg Config) (s *Batcher, release func()) {
+	gate := make(chan struct{})
+	var once sync.Once
+	cfg.Flushers = 1
+	s = NewBatcher(m, cfg)
+	s.testHookBeforeFlush = func() { <-gate }
+	return s, func() { once.Do(func() { close(gate) }) }
+}
+
+// fillPipeline stalls the flush worker and fills every stage ahead of the
+// queue: one batch in flush, one batch stuck on the worker handoff, and
+// QueueLimit requests in the queue. Returns the drain for the in-flight
+// requests.
+func fillPipeline(t *testing.T, s *Batcher, b []float64) (inFlight *sync.WaitGroup) {
+	t.Helper()
+	var wg sync.WaitGroup
+	// 1 request claimed into a flushing batch + 1 claimed into the next
+	// batch (dispatcher blocked handing it to the busy worker) + QueueLimit
+	// queued. MaxBatch must be 1.
+	for i := 0; i < 2+s.cfg.QueueLimit; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Apply(context.Background(), b); err != nil {
+				t.Error(err)
+			}
+		}()
+		// Wait for this request to move past the queue where appropriate so
+		// the fill is deterministic: the first two must be claimed by the
+		// dispatcher before the queue can hold the rest.
+		if i < 2 {
+			deadline := time.Now().Add(2 * time.Second)
+			for s.Stats().Submitted != int64(i+1) || len(s.submit) != 0 {
+				if time.Now().After(deadline) {
+					t.Fatal("pipeline fill stalled")
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.submit) != s.cfg.QueueLimit {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: depth %d want %d", len(s.submit), s.cfg.QueueLimit)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return &wg
+}
+
+// TestQueueFullFastFail fills the pipeline and checks the fast-fail
+// backpressure mode rejects the overflow request with ErrQueueFull.
+func TestQueueFullFastFail(t *testing.T) {
+	m := testMatrix(t)
+	s, release := stallFlushes(m, Config{MaxBatch: 1, FlushWindow: time.Hour, QueueLimit: 2})
+	defer s.Close()
+	b := randVec(m.N, 3)
+	wg := fillPipeline(t, s, b)
+
+	if _, err := s.Apply(context.Background(), b); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if st := s.Stats(); st.DroppedQueueFull != 1 || st.QueueDepth != s.cfg.QueueLimit {
+		t.Fatalf("queue-full stats wrong: %+v", st)
+	}
+	release()
+	wg.Wait()
+	if st := s.Stats(); st.Served != int64(2+s.cfg.QueueLimit) {
+		t.Fatalf("served %d after release, want %d", st.Served, 2+s.cfg.QueueLimit)
+	}
+}
+
+// TestQueueFullBlocking checks the blocking backpressure mode: a caller at
+// QueueLimit waits (honoring its context) instead of failing, and proceeds
+// once the pipeline drains.
+func TestQueueFullBlocking(t *testing.T) {
+	m := testMatrix(t)
+	s, release := stallFlushes(m, Config{MaxBatch: 1, FlushWindow: time.Hour, QueueLimit: 2, Block: true})
+	defer s.Close()
+	b := randVec(m.N, 4)
+	wg := fillPipeline(t, s, b)
+
+	// A blocking Apply with a deadline gives up with ctx.Err while stalled.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := s.Apply(ctx, b); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked apply err = %v, want DeadlineExceeded", err)
+	}
+	if st := s.Stats(); st.DroppedDeadline != 1 || st.DroppedQueueFull != 0 {
+		t.Fatalf("blocking mode must not count queue-full drops: %+v", st)
+	}
+
+	// Without a deadline it blocks until the stall lifts, then succeeds.
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Apply(context.Background(), b)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("blocking apply returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	release()
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseDrains stalls the pipeline with queued requests, closes, and
+// checks every admitted request is answered before Close returns and later
+// calls fail fast with ErrClosed.
+func TestCloseDrains(t *testing.T) {
+	m := testMatrix(t)
+	s, release := stallFlushes(m, Config{MaxBatch: 2, FlushWindow: time.Hour, QueueLimit: 8})
+	b := randVec(m.N, 5)
+	want := m.Apply(b)
+
+	const k = 6
+	results := make(chan result, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			y, err := s.Apply(context.Background(), b)
+			results <- result{y: y, err: err}
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Submitted != k {
+		if time.Now().After(deadline) {
+			t.Fatal("submissions stalled")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while flushes were stalled")
+	case <-time.After(20 * time.Millisecond):
+	}
+	release()
+	<-closed
+	wg.Wait()
+	close(results)
+	served := 0
+	for r := range results {
+		if r.err != nil {
+			t.Fatalf("admitted request dropped by Close: %v", r.err)
+		}
+		if d := maxRelDiff(want, r.y); d > 1e-14 {
+			t.Fatalf("drained result diverges: reldiff %g", d)
+		}
+		served++
+	}
+	if served != k {
+		t.Fatalf("drained %d results, want %d", served, k)
+	}
+	if _, err := s.Apply(context.Background(), b); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close err = %v, want ErrClosed", err)
+	}
+	if st := s.Stats(); st.Served != k || st.DroppedClosed != 1 {
+		t.Fatalf("post-close stats wrong: %+v", st)
+	}
+	s.Close() // idempotent
+}
+
+// TestApplyLengthMismatch rejects wrong-length inputs without touching the
+// queue.
+func TestApplyLengthMismatch(t *testing.T) {
+	m := testMatrix(t)
+	s := NewBatcher(m, Config{})
+	defer s.Close()
+	if _, err := s.Apply(context.Background(), make([]float64, m.N-1)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if st := s.Stats(); st.Submitted != 0 {
+		t.Fatalf("rejected request was counted: %+v", st)
+	}
+}
+
+// TestHistQuantiles exercises the log₂ histogram directly.
+func TestHistQuantiles(t *testing.T) {
+	var h hist
+	for i := 0; i < 99; i++ {
+		h.observe(3) // bucket [2,4)
+	}
+	h.observe(1000) // bucket [512,1024)
+	s := h.snapshot()
+	if s.Count != 100 || s.Max != 1000 {
+		t.Fatalf("count/max = %d/%d", s.Count, s.Max)
+	}
+	if s.P50 != 4 {
+		t.Fatalf("p50 = %d, want 4 (upper bound of [2,4))", s.P50)
+	}
+	if s.P99 != 4 || quantile(&[32]int64{}, 0, 0.5) != 0 {
+		t.Fatalf("p99 = %d", s.P99)
+	}
+	h2 := hist{}
+	h2.observe(0)
+	if got := h2.snapshot().P50; got != 2 {
+		t.Fatalf("zero-value observation p50 = %d, want 2", got)
+	}
+}
