@@ -1,30 +1,39 @@
-// Command h2serve exposes one H² matrix as an HTTP matvec service. At
-// startup it either builds the matrix from a synthetic workload (the same
-// knobs as h2info) or loads a serialized one (-load, written by
-// core.Matrix.WriteTo), then serves concurrent products through an
-// internal/serve.Batcher so independent requests coalesce into batched
-// applies.
+// Command h2serve exposes a fleet of H² matrices as an HTTP matvec service.
+// At startup it builds (or loads with -load) a "default" instance from the
+// same knobs as h2info, then serves concurrent products through per-instance
+// request batchers (internal/serve) managed by a multi-tenant registry
+// (internal/registry): named instances, async build queue, zero-downtime
+// hot-swap rebuilds, and an optional global memory budget with LRU eviction
+// and disk spill.
 //
 // Endpoints:
 //
-//	POST /apply    {"b": [...]} -> {"y": [...]}; per-request deadline via
-//	               -timeout, 503 on queue-full backpressure
-//	GET  /stats    batcher counters/histograms plus matrix shape, as JSON
-//	GET  /healthz  liveness probe
+//	POST   /matrices              {"name": "x", "spec": {"n": 5000, ...}}
+//	                              create or hot-swap-rebuild an instance (202)
+//	GET    /matrices              instances with state, progress, counters
+//	GET    /matrices/{name}       one instance
+//	POST   /matrices/{name}/apply {"b": [...]} -> {"y": [...]}
+//	DELETE /matrices/{name}       remove an instance
+//	POST   /apply                 alias for /matrices/default/apply
+//	GET    /stats                 default-instance shape + registry counters
+//	GET    /healthz               liveness probe
 //
-// SIGINT/SIGTERM shut down gracefully: the listener stops, in-flight and
-// queued requests drain through the batcher, then the process exits.
+// Apply requests carry a per-request deadline (-timeout) and answer 503 on
+// queue-full backpressure. SIGINT/SIGTERM shut down gracefully: the listener
+// stops, every instance's batcher drains its admitted requests, in-flight
+// builds are cancelled, and — with -spill set — Ready instances are
+// persisted for the next start.
 //
 // Usage:
 //
 //	h2serve -n 20000 -kernel coulomb -mem otf -addr :8080
-//	h2serve -load matrix.h2 -kernel coulomb
+//	h2serve -load matrix.h2
 //	curl -s localhost:8080/apply -d '{"b": [0.1, 0.2, ...]}'
+//	curl -s localhost:8080/matrices -d '{"name":"g","spec":{"kernel":"gaussian","n":5000}}'
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,10 +44,8 @@ import (
 	"syscall"
 	"time"
 
-	"h2ds/internal/core"
 	"h2ds/internal/kernel"
-	"h2ds/internal/pointset"
-	"h2ds/internal/sample"
+	"h2ds/internal/registry"
 	"h2ds/internal/serve"
 )
 
@@ -51,13 +58,13 @@ func main() {
 
 func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
-	load := flag.String("load", "", "serialized matrix to serve (from core.Matrix.WriteTo); skips the build")
-	save := flag.String("save", "", "write the built matrix to this path before serving")
+	load := flag.String("load", "", "serialized matrix to serve as \"default\" (kernel resolved from the stream); skips the build")
+	save := flag.String("save", "", "write the built default matrix to this path before serving")
 
 	n := flag.Int("n", 20000, "number of points (build mode)")
 	dim := flag.Int("dim", 3, "dimension (cube distribution only)")
 	dist := flag.String("dist", "cube", "distribution: cube, sphere, dino, ball, mixture")
-	kern := flag.String("kernel", "coulomb", "kernel: "+strings.Join(kernel.Names(), ", "))
+	kern := flag.String("kernel", "coulomb", "kernel: "+strings.Join(kernel.Names(), ", ")+"; with -load, checked against the stream")
 	tol := flag.Float64("tol", 1e-6, "target relative accuracy")
 	basis := flag.String("basis", "dd", "construction: dd (data-driven) or interp")
 	mem := flag.String("mem", "otf", "memory mode: normal or otf")
@@ -71,60 +78,63 @@ func run() error {
 	queue := flag.Int("queue", 0, "queue limit (0 = 4x maxbatch)")
 	block := flag.Bool("block", false, "block at queue limit instead of failing fast with 503")
 	flushers := flag.Int("flushers", 2, "concurrent flush workers")
-	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline for /apply (0 = none)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline for apply endpoints (0 = none)")
+
+	builders := flag.Int("builders", 2, "concurrent build workers for POST /matrices")
+	buildQueue := flag.Int("buildqueue", 8, "accepted-but-not-started build limit")
+	budgetMB := flag.Int64("membudget", 0, "total matrix memory budget in MiB across ready instances (0 = unlimited); exceeding it evicts the least-recently-applied instance")
+	spill := flag.String("spill", "", "directory for evicted instances' generators; evicted instances rehydrate lazily on their next apply, and ready instances persist here at shutdown")
 	flag.Parse()
 
-	k, err := kernel.ByName(*kern)
-	if err != nil {
-		return err
+	// The default instance's spec, straight from the flags.
+	spec := registry.BuildSpec{
+		Kernel: *kern, Dist: *dist, N: *n, Dim: *dim, Tol: *tol,
+		Basis: *basis, Mem: *mem, Leaf: *leaf, Sampler: *samplerName,
+		Seed: *seed, Workers: *threads,
+	}
+	if *load != "" {
+		// The stream records its kernel; -kernel is only an override check,
+		// applied below once the matrix is loaded.
+		spec = registry.BuildSpec{Path: *load}
 	}
 
-	var m *core.Matrix
+	reg := registry.New(registry.Config{
+		Workers:    *builders,
+		QueueDepth: *buildQueue,
+		MemBudget:  *budgetMB << 20,
+		SpillDir:   *spill,
+		Batch: serve.Config{
+			MaxBatch:    *maxBatch,
+			FlushWindow: *window,
+			QueueLimit:  *queue,
+			Block:       *block,
+			Flushers:    *flushers,
+		},
+	})
+	defer reg.Close()
+
+	t0 := time.Now()
+	if err := reg.Create(DefaultInstance, spec); err != nil {
+		return err
+	}
+	if err := reg.WaitReady(context.Background(), DefaultInstance); err != nil {
+		return err
+	}
+	m, ok := reg.Matrix(DefaultInstance)
+	if !ok {
+		return errors.New("default instance vanished during startup")
+	}
 	if *load != "" {
-		f, err := os.Open(*load)
-		if err != nil {
-			return err
-		}
-		m, err = core.Read(f, k)
-		f.Close()
-		if err != nil {
-			return fmt.Errorf("load %s: %w", *load, err)
+		kernelFlagSet := false
+		flag.Visit(func(f *flag.Flag) { kernelFlagSet = kernelFlagSet || f.Name == "kernel" })
+		if kernelFlagSet && m.Kern.Name() != *kern {
+			return fmt.Errorf("%s was built with kernel %q, but -kernel %q was requested", *load, m.Kern.Name(), *kern)
 		}
 		fmt.Printf("h2serve: loaded %s: n=%d dim=%d kernel=%s mode=%v\n",
-			*load, m.N, m.Dim, k.Name(), m.Cfg.Mode)
+			*load, m.N, m.Dim, m.Kern.Name(), m.Cfg.Mode)
 	} else {
-		pts, ok := pointset.Named(*dist, *n, *dim, *seed)
-		if !ok {
-			return fmt.Errorf("unknown distribution %q", *dist)
-		}
-		s, ok := sample.Named(*samplerName)
-		if !ok {
-			return fmt.Errorf("unknown sampler %q", *samplerName)
-		}
-		cfg := core.Config{Tol: *tol, LeafSize: *leaf, Workers: *threads, Sampler: s}
-		switch *basis {
-		case "dd":
-			cfg.Kind = core.DataDriven
-		case "interp":
-			cfg.Kind = core.Interpolation
-		default:
-			return fmt.Errorf("unknown basis %q", *basis)
-		}
-		switch *mem {
-		case "normal":
-			cfg.Mode = core.Normal
-		case "otf":
-			cfg.Mode = core.OnTheFly
-		default:
-			return fmt.Errorf("unknown memory mode %q", *mem)
-		}
-		t0 := time.Now()
-		m, err = core.Build(pts, k, cfg)
-		if err != nil {
-			return err
-		}
 		fmt.Printf("h2serve: built n=%d dim=%d dist=%s kernel=%s mode=%v in %v\n",
-			*n, pts.Dim, *dist, k.Name(), cfg.Mode, time.Since(t0).Round(time.Millisecond))
+			m.N, m.Dim, *dist, m.Kern.Name(), m.Cfg.Mode, time.Since(t0).Round(time.Millisecond))
 		if *save != "" {
 			f, err := os.Create(*save)
 			if err != nil {
@@ -141,113 +151,29 @@ func run() error {
 		}
 	}
 
-	b := serve.NewBatcher(m, serve.Config{
-		MaxBatch:    *maxBatch,
-		FlushWindow: *window,
-		QueueLimit:  *queue,
-		Block:       *block,
-		Flushers:    *flushers,
-	})
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/apply", applyHandler(b, *timeout))
-	mux.HandleFunc("/stats", statsHandler(b, k.Name()))
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	srv := &http.Server{Addr: *addr, Handler: mux}
-
+	srv := &http.Server{Addr: *addr, Handler: newServer(reg, *timeout)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("h2serve: listening on %s (maxbatch=%d window=%v queue=%d block=%v flushers=%d)\n",
-		*addr, *maxBatch, *window, *queue, *block, *flushers)
+	fmt.Printf("h2serve: listening on %s (maxbatch=%d window=%v queue=%d block=%v flushers=%d builders=%d membudget=%dMiB)\n",
+		*addr, *maxBatch, *window, *queue, *block, *flushers, *builders, *budgetMB)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	select {
 	case err := <-errCh:
-		b.Close()
+		reg.Close()
 		return err
 	case <-ctx.Done():
 	}
 	fmt.Println("h2serve: shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	err = srv.Shutdown(shutCtx)
-	b.Close() // drains every admitted request
-	st := b.Stats()
-	fmt.Printf("h2serve: served %d requests in %d batches (mean occupancy %.1f)\n",
-		st.Served, st.Batches, st.BatchOccupancy.Mean)
+	err := srv.Shutdown(shutCtx)
+	// Drain every instance's batcher, cancel in-flight builds, persist Ready
+	// instances when -spill is set.
+	reg.Close()
+	st := reg.Stats()
+	fmt.Printf("h2serve: %d builds (%d ok, %d failed), %d evictions, %d swap drains\n",
+		st.BuildsStarted, st.BuildsSucceeded, st.BuildsFailed, st.Evictions, st.SwapDrains)
 	return err
-}
-
-// applyRequest and applyResponse are the /apply wire format.
-type applyRequest struct {
-	B []float64 `json:"b"`
-}
-
-type applyResponse struct {
-	Y []float64 `json:"y"`
-}
-
-func applyHandler(b *serve.Batcher, timeout time.Duration) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		var req applyRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		ctx := r.Context()
-		if timeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, timeout)
-			defer cancel()
-		}
-		y, err := b.Apply(ctx, req.B)
-		switch {
-		case err == nil:
-		case errors.Is(err, serve.ErrQueueFull) || errors.Is(err, serve.ErrClosed):
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			return
-		case errors.Is(err, context.DeadlineExceeded):
-			http.Error(w, err.Error(), http.StatusGatewayTimeout)
-			return
-		case errors.Is(err, context.Canceled):
-			// Client went away; nothing useful to write.
-			return
-		default:
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(applyResponse{Y: y})
-	}
-}
-
-func statsHandler(b *serve.Batcher, kernelName string) http.HandlerFunc {
-	type matrixInfo struct {
-		N      int    `json:"n"`
-		Dim    int    `json:"dim"`
-		Kernel string `json:"kernel"`
-		Mode   string `json:"mode"`
-		Basis  string `json:"basis"`
-	}
-	return func(w http.ResponseWriter, r *http.Request) {
-		m := b.Matrix()
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(struct {
-			Matrix matrixInfo  `json:"matrix"`
-			Serve  serve.Stats `json:"serve"`
-		}{
-			Matrix: matrixInfo{
-				N: m.N, Dim: m.Dim, Kernel: kernelName,
-				Mode: m.Cfg.Mode.String(), Basis: m.Cfg.Kind.String(),
-			},
-			Serve: b.Stats(),
-		})
-	}
 }

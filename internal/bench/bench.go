@@ -113,7 +113,7 @@ func (o Options) seed() int64 {
 
 // Experiments lists the runnable experiment ids in paper order.
 func Experiments() []string {
-	return []string{"fig2", "fig4", "fig5", "fig6", "table1", "fig7", "fig8", "fig9", "ablation", "rhs", "serve"}
+	return []string{"fig2", "fig4", "fig5", "fig6", "table1", "fig7", "fig8", "fig9", "ablation", "rhs", "serve", "registry"}
 }
 
 // Run executes one experiment ("fig2", ..., "table1", "ablation") or "all".
@@ -141,6 +141,8 @@ func Run(exp string, opt Options) error {
 		return MultiRHS(opt)
 	case "serve":
 		return ServeBench(opt)
+	case "registry":
+		return RegistryBench(opt)
 	case "all":
 		for _, e := range Experiments() {
 			if err := Run(e, opt); err != nil {

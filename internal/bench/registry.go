@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"h2ds/internal/registry"
+)
+
+// RegistryBench measures the multi-tenant registry's build pipeline and its
+// zero-downtime hot swap. Part one submits a fleet of build specs through
+// the bounded async queue at several worker-pool widths and reports wall
+// time to all-Ready (the build-queue scaling the registry exists for). Part
+// two keeps closed-loop clients applying against one instance while it is
+// rebuilt in the background, reporting request latency with and without a
+// swap in flight — the zero-downtime claim, measured. Errors during the
+// swap window abort the benchmark.
+func RegistryBench(opt Options) error {
+	out := opt.out()
+	k, err := opt.kernel()
+	if err != nil {
+		return err
+	}
+	n, fleet := 2000, 8
+	switch opt.Scale {
+	case "tiny":
+		n, fleet = 800, 4
+	case "medium":
+		n, fleet = 8000, 8
+	case "paper":
+		n, fleet = 20000, 12
+	}
+
+	fmt.Fprintf(out, "\n# registry: async build queue and hot-swap (n=%d per instance, fleet=%d, %s, on-the-fly)\n",
+		n, fleet, k.Name())
+
+	specFor := func(i int) registry.BuildSpec {
+		return registry.BuildSpec{
+			Kernel: k.Name(), Dist: "cube", N: n, Dim: 3, Tol: 1e-6,
+			Basis: "dd", Mem: "otf", Leaf: leafSizeFor(n),
+			Sampler: samplerName(opt), Seed: opt.seed() + int64(i),
+			Workers: opt.Threads,
+		}
+	}
+
+	// Part 1: build-queue throughput vs worker-pool width.
+	tb := newTable(out, "build queue: fleet wall time vs workers",
+		"workers", "fleet", "wall_ms", "builds_per_s")
+	type qrow struct {
+		workers int
+		wallMS  float64
+		rate    float64
+	}
+	var qrows []qrow
+	for _, workers := range []int{1, 2, 4} {
+		r := registry.New(registry.Config{Workers: workers, QueueDepth: fleet})
+		t0 := time.Now()
+		for i := 0; i < fleet; i++ {
+			if err := r.Create(fmt.Sprintf("b%d", i), specFor(i)); err != nil {
+				r.Close()
+				return err
+			}
+		}
+		for i := 0; i < fleet; i++ {
+			if err := r.WaitReady(context.Background(), fmt.Sprintf("b%d", i)); err != nil {
+				r.Close()
+				return err
+			}
+		}
+		wall := time.Since(t0)
+		r.Close()
+		row := qrow{
+			workers: workers,
+			wallMS:  float64(wall.Microseconds()) / 1000,
+			rate:    float64(fleet) / wall.Seconds(),
+		}
+		qrows = append(qrows, row)
+		tb.row(fmt.Sprintf("%d", workers), fmt.Sprintf("%d", fleet),
+			fmt.Sprintf("%.1f", row.wallMS), fmt.Sprintf("%.2f", row.rate))
+	}
+	tb.flush()
+
+	// Part 2: apply latency through a hot swap. Closed-loop clients hammer
+	// one instance; mid-run the same name is rebuilt. Latencies are split
+	// into steady-state and swap-window populations.
+	conc := opt.conc()
+	if conc > 16 {
+		conc = 16 // latency benchmark, not a throughput soak
+	}
+	r := registry.New(registry.Config{Workers: 2})
+	defer r.Close()
+	if err := r.Create("hot", specFor(0)); err != nil {
+		return err
+	}
+	if err := r.WaitReady(context.Background(), "hot"); err != nil {
+		return err
+	}
+	b := randVec(n, opt.seed()+77)
+
+	type sample struct {
+		start time.Time
+		dur   time.Duration
+	}
+	var (
+		mu       sync.Mutex
+		samples  []sample
+		firstErr error
+	)
+	stop := make(chan struct{})
+	swapActive := func() bool {
+		inf, ok := r.Get("hot")
+		return ok && inf.Rebuilding
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				_, err := r.Apply(context.Background(), "hot", b)
+				d := time.Since(t0)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				samples = append(samples, sample{t0, d})
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// Steady-state warm-up, then trigger the rebuild and wait it out.
+	time.Sleep(200 * time.Millisecond)
+	tSwap := time.Now()
+	if err := r.Create("hot", specFor(1)); err != nil {
+		close(stop)
+		wg.Wait()
+		return err
+	}
+	for swapActive() {
+		time.Sleep(time.Millisecond)
+	}
+	swapWall := time.Since(tSwap)
+	tSwapEnd := time.Now()
+	time.Sleep(100 * time.Millisecond) // post-swap steady state
+	close(stop)
+	wg.Wait()
+	if firstErr != nil {
+		return fmt.Errorf("bench: apply failed during hot swap: %w", firstErr)
+	}
+
+	// Split samples by overlap with the rebuild window: any request in
+	// flight while the swap was in progress is a swap-window sample.
+	var steady, swapping []time.Duration
+	for _, s := range samples {
+		if s.start.Before(tSwapEnd) && s.start.Add(s.dur).After(tSwap) {
+			swapping = append(swapping, s.dur)
+		} else {
+			steady = append(steady, s.dur)
+		}
+	}
+
+	pct := func(lats []time.Duration, q float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		return float64(lats[int(float64(len(lats)-1)*q)].Microseconds()) / 1000
+	}
+	tb = newTable(out, "apply latency across a hot swap (zero errors required)",
+		"phase", "requests", "p50_ms", "p99_ms")
+	tb.row("steady", fmt.Sprintf("%d", len(steady)),
+		fmt.Sprintf("%.2f", pct(steady, 0.5)), fmt.Sprintf("%.2f", pct(steady, 0.99)))
+	tb.row("swap-window", fmt.Sprintf("%d", len(swapping)),
+		fmt.Sprintf("%.2f", pct(swapping, 0.5)), fmt.Sprintf("%.2f", pct(swapping, 0.99)))
+	tb.flush()
+	st := r.Stats()
+	fmt.Fprintf(out, "\nswap completed in %v under load; registry: %d builds, %d swap drains, 0 apply errors\n",
+		swapWall.Round(time.Millisecond), st.BuildsSucceeded, st.SwapDrains)
+
+	for _, row := range qrows {
+		line := struct {
+			Exp      string  `json:"exp"`
+			Part     string  `json:"part"`
+			N        int     `json:"n"`
+			Kernel   string  `json:"kernel"`
+			Workers  int     `json:"workers"`
+			Fleet    int     `json:"fleet"`
+			WallMS   float64 `json:"wall_ms"`
+			BuildsPS float64 `json:"builds_per_s"`
+		}{"registry", "build-queue", n, k.Name(), row.workers, fleet, row.wallMS, row.rate}
+		js, err := json.Marshal(line)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "BENCH %s\n", js)
+	}
+	line := struct {
+		Exp         string  `json:"exp"`
+		Part        string  `json:"part"`
+		N           int     `json:"n"`
+		Kernel      string  `json:"kernel"`
+		Conc        int     `json:"conc"`
+		SwapWallMS  float64 `json:"swap_wall_ms"`
+		SteadyP99MS float64 `json:"steady_p99_ms"`
+		SwapP99MS   float64 `json:"swap_p99_ms"`
+		Errors      int     `json:"errors"`
+	}{"registry", "hot-swap", n, k.Name(), conc,
+		float64(swapWall.Microseconds()) / 1000, pct(steady, 0.99), pct(swapping, 0.99), 0}
+	js, err := json.Marshal(line)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "BENCH %s\n", js)
+	return nil
+}
+
+// samplerName resolves the Options sampler to its registry-spec name.
+func samplerName(opt Options) string {
+	if opt.Sampler == "" {
+		return "anchornet"
+	}
+	return opt.Sampler
+}

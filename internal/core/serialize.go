@@ -240,26 +240,58 @@ func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
 	return s.n, s.err
 }
 
-// Read deserializes a matrix written by WriteTo. The kernel is not stored
-// (it is code); the caller supplies it and its Name must match the one
-// recorded at save time. For normal memory mode the coupling and nearfield
-// blocks are re-assembled from the kernel (they are kernel submatrices, so
-// this is exact).
-func Read(r io.Reader, k kernel.Pairwise) (*Matrix, error) {
-	s := &serialReader{r: bufio.NewReader(r)}
+// readHeader consumes the magic, version, and recorded kernel name and
+// returns the kernel name.
+func readHeader(s *serialReader) (string, error) {
 	if magic := s.readString(); s.err == nil && magic != serialMagic {
-		return nil, fmt.Errorf("core: not an h2ds stream (magic %q)", magic)
+		return "", fmt.Errorf("core: not an h2ds stream (magic %q)", magic)
 	}
 	var version uint32
 	s.read(&version)
 	if s.err == nil && version != serialVersion {
-		return nil, fmt.Errorf("core: unsupported stream version %d (want %d)", version, serialVersion)
+		return "", fmt.Errorf("core: unsupported stream version %d (want %d)", version, serialVersion)
 	}
 	kname := s.readString()
-	if s.err == nil && kname != k.Name() {
+	return kname, s.err
+}
+
+// Read deserializes a matrix written by WriteTo. The kernel function is not
+// stored (it is code); the caller supplies it and its Name must match the
+// one recorded at save time. For normal memory mode the coupling and
+// nearfield blocks are re-assembled from the kernel (they are kernel
+// submatrices, so this is exact).
+func Read(r io.Reader, k kernel.Pairwise) (*Matrix, error) {
+	s := &serialReader{r: bufio.NewReader(r)}
+	kname, err := readHeader(s)
+	if err != nil {
+		return nil, err
+	}
+	if kname != k.Name() {
 		return nil, fmt.Errorf("core: stream was built with kernel %q, got %q", kname, k.Name())
 	}
+	return readBody(s, k)
+}
 
+// ReadAny deserializes a matrix written by WriteTo, resolving the kernel
+// from the name recorded in the stream via kernel.ByName. Streams built with
+// a kernel outside the name registry (custom or parameterized kernels) fail
+// with the registry's unknown-kernel error; use Read with the explicit
+// kernel for those.
+func ReadAny(r io.Reader) (*Matrix, error) {
+	s := &serialReader{r: bufio.NewReader(r)}
+	kname, err := readHeader(s)
+	if err != nil {
+		return nil, err
+	}
+	k, err := kernel.ByName(kname)
+	if err != nil {
+		return nil, fmt.Errorf("core: cannot resolve stream kernel: %w", err)
+	}
+	return readBody(s, k)
+}
+
+// readBody deserializes everything after the header under the given kernel.
+func readBody(s *serialReader, k kernel.Pairwise) (*Matrix, error) {
 	m := &Matrix{Kern: k}
 	var kind, mode uint8
 	s.read(&kind)

@@ -86,6 +86,48 @@ func TestSerializeRoundTripUnsymmetric(t *testing.T) {
 	}
 }
 
+func TestReadAnyResolvesKernel(t *testing.T) {
+	pts := pointset.Cube(800, 3, 89)
+	b := randVec(800, 88)
+	m, err := Build(pts, kernel.Gaussian{Scale: 0.1}, Config{Kind: DataDriven, Mode: OnTheFly, Tol: 1e-5, LeafSize: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadAny(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.Kern.Name(); got != "gaussian" {
+		t.Fatalf("resolved kernel %q, want gaussian", got)
+	}
+	y1, y2 := m.Apply(b), m2.Apply(b)
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatalf("ReadAny matrix differs at %d: %g vs %g", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestReadAnyUnknownKernel(t *testing.T) {
+	pts := pointset.Cube(300, 3, 87)
+	// An unregistered kernel serializes fine but cannot be resolved by name.
+	m, err := Build(pts, drift3(), Config{Kind: DataDriven, Mode: OnTheFly, Tol: 1e-4, LeafSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAny(&buf); err == nil || !strings.Contains(err.Error(), "unknown kernel") {
+		t.Fatalf("expected unknown-kernel error, got %v", err)
+	}
+}
+
 func TestSerializeKernelMismatch(t *testing.T) {
 	pts := pointset.Cube(300, 3, 96)
 	m, err := Build(pts, kernel.Coulomb{}, Config{Tol: 1e-4, LeafSize: 50})

@@ -1,0 +1,193 @@
+package registry
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+
+	"h2ds/internal/core"
+	"h2ds/internal/kernel"
+	"h2ds/internal/pointset"
+	"h2ds/internal/sample"
+)
+
+// BuildSpec describes one matrix instance: either a synthetic build (the
+// same knobs as the h2serve/h2info build mode) or a load-from-file source
+// (Path, a stream written by core.Matrix.WriteTo). The zero value of every
+// build field gets the serving default, so a spec can be as small as
+// {"n": 5000}.
+type BuildSpec struct {
+	Kernel  string  `json:"kernel,omitempty"`  // kernel name (default "coulomb")
+	Dist    string  `json:"dist,omitempty"`    // distribution (default "cube")
+	N       int     `json:"n,omitempty"`       // points (default 20000)
+	Dim     int     `json:"dim,omitempty"`     // dimension, cube only (default 3)
+	Tol     float64 `json:"tol,omitempty"`     // target relative accuracy (default 1e-6)
+	Basis   string  `json:"basis,omitempty"`   // "dd" or "interp" (default "dd")
+	Mem     string  `json:"mem,omitempty"`     // "normal" or "otf" (default "otf")
+	Leaf    int     `json:"leaf,omitempty"`    // leaf size (0 = core default)
+	Sampler string  `json:"sampler,omitempty"` // sampler name (default "anchornet")
+	Seed    int64   `json:"seed,omitempty"`    // workload seed (default 1)
+	Workers int     `json:"workers,omitempty"` // build/matvec workers (0 = GOMAXPROCS)
+
+	// Path, when set, loads the matrix from this serialized file instead of
+	// building; the kernel is resolved from the stream (core.ReadAny) and
+	// every build knob above is ignored.
+	Path string `json:"path,omitempty"`
+}
+
+// withDefaults resolves zero build fields to the serving defaults.
+func (sp BuildSpec) withDefaults() BuildSpec {
+	if sp.Path != "" {
+		return sp
+	}
+	if sp.Kernel == "" {
+		sp.Kernel = "coulomb"
+	}
+	if sp.Dist == "" {
+		sp.Dist = "cube"
+	}
+	if sp.N == 0 {
+		sp.N = 20000
+	}
+	if sp.Dim == 0 {
+		sp.Dim = 3
+	}
+	if sp.Tol == 0 {
+		sp.Tol = 1e-6
+	}
+	if sp.Basis == "" {
+		sp.Basis = "dd"
+	}
+	if sp.Mem == "" {
+		sp.Mem = "otf"
+	}
+	if sp.Sampler == "" {
+		sp.Sampler = "anchornet"
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	return sp
+}
+
+// validate rejects specs that can never build: unknown enum names and
+// non-positive sizes fail at submission time (synchronously, so the HTTP
+// layer can answer 400), while environmental failures (missing Path file,
+// build errors) surface asynchronously as state Failed.
+func (sp BuildSpec) validate() error {
+	if sp.Path != "" {
+		return nil
+	}
+	if _, err := kernel.ByName(sp.Kernel); err != nil {
+		return err
+	}
+	if _, ok := pointset.Named(sp.Dist, 1, maxInt(sp.Dim, 1), 1); !ok {
+		return fmt.Errorf("registry: unknown distribution %q", sp.Dist)
+	}
+	if _, ok := sample.Named(sp.Sampler); !ok {
+		return fmt.Errorf("registry: unknown sampler %q", sp.Sampler)
+	}
+	if sp.Basis != "dd" && sp.Basis != "interp" {
+		return fmt.Errorf("registry: unknown basis %q (valid: dd, interp)", sp.Basis)
+	}
+	if sp.Mem != "normal" && sp.Mem != "otf" {
+		return fmt.Errorf("registry: unknown memory mode %q (valid: normal, otf)", sp.Mem)
+	}
+	if sp.N < 1 {
+		return fmt.Errorf("registry: n must be positive, got %d", sp.N)
+	}
+	if sp.Tol < 0 {
+		return fmt.Errorf("registry: negative tolerance %g", sp.Tol)
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Builder turns a spec into a matrix. setStage stamps build progress for
+// GET /matrices observers ("points", "build", "load"); ctx is the build
+// job's context — cancelled by Delete and registry shutdown, and checked by
+// the worker at stage boundaries regardless of whether the builder honors
+// it. DefaultBuild is used when Config.Builder is nil; embedders override
+// it for custom matrix sources or fault injection.
+type Builder func(ctx context.Context, sp BuildSpec, setStage func(string)) (*core.Matrix, error)
+
+// DefaultBuild resolves a spec against the kernel/pointset/sampler name
+// registries and runs core.Build, or loads from sp.Path via core.ReadAny.
+func DefaultBuild(ctx context.Context, sp BuildSpec, setStage func(string)) (*core.Matrix, error) {
+	if sp.Path != "" {
+		setStage("load")
+		return loadMatrix(sp.Path)
+	}
+	k, err := kernel.ByName(sp.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	setStage("points")
+	pts, ok := pointset.Named(sp.Dist, sp.N, sp.Dim, sp.Seed)
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown distribution %q", sp.Dist)
+	}
+	s, ok := sample.Named(sp.Sampler)
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown sampler %q", sp.Sampler)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Tol: sp.Tol, LeafSize: sp.Leaf, Workers: sp.Workers, Sampler: s,
+	}
+	switch sp.Basis {
+	case "dd":
+		cfg.Kind = core.DataDriven
+	case "interp":
+		cfg.Kind = core.Interpolation
+	default:
+		return nil, fmt.Errorf("registry: unknown basis %q", sp.Basis)
+	}
+	switch sp.Mem {
+	case "normal":
+		cfg.Mode = core.Normal
+	case "otf":
+		cfg.Mode = core.OnTheFly
+	default:
+		return nil, fmt.Errorf("registry: unknown memory mode %q", sp.Mem)
+	}
+	setStage("build")
+	return core.Build(pts, k, cfg)
+}
+
+// loadMatrix reads one serialized matrix, resolving the kernel from the
+// stream. Shared by the Path source and eviction-spill rehydration.
+func loadMatrix(path string) (*core.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := core.ReadAny(f)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// nameRE restricts instance names so they embed safely in URL paths and
+// spill filenames.
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// checkName validates an instance name.
+func checkName(name string) error {
+	if !nameRE.MatchString(name) || strings.Contains(name, "..") {
+		return fmt.Errorf("registry: invalid instance name %q (want [A-Za-z0-9._-], max 64, no leading punctuation)", name)
+	}
+	return nil
+}

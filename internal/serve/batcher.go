@@ -185,6 +185,7 @@ func (s *Batcher) Apply(ctx context.Context, b []float64) ([]float64, error) {
 		}
 	}
 	s.st.submitted.Add(1)
+	s.st.pending.Add(1)
 	s.mu.RUnlock()
 
 	select {
@@ -266,6 +267,13 @@ func (s *Batcher) drain(batch []*request) {
 	}
 }
 
+// answer delivers one result and retires the request from the pending
+// gauge. Every admitted request is answered exactly once, here.
+func (s *Batcher) answer(r *request, res result) {
+	s.st.pending.Add(-1)
+	r.done <- res
+}
+
 // flushWorker executes batches. Each worker owns one workspace and one pair
 // of batch matrices for its lifetime, so steady-state flushes reuse every
 // buffer. Requests whose context has expired are dropped here, at pack
@@ -286,7 +294,7 @@ func (s *Batcher) flushWorker() {
 		for _, r := range batch {
 			if err := r.ctx.Err(); err != nil {
 				s.st.drop(err)
-				r.done <- result{err: err}
+				s.answer(r, result{err: err})
 				continue
 			}
 			s.st.queueWait.observeDur(now.Sub(r.enqueued))
@@ -301,7 +309,7 @@ func (s *Batcher) flushWorker() {
 			y := make([]float64, n)
 			s.m.ApplyToWith(ws, y, live[0].b)
 			s.st.flushLat.observeDur(time.Since(t0))
-			live[0].done <- result{y: y}
+			s.answer(live[0], result{y: y})
 		} else {
 			B.Reshape(n, k)
 			for j, r := range live {
@@ -316,7 +324,7 @@ func (s *Batcher) flushWorker() {
 				for i := range y {
 					y[i] = Y.Data[i*k+j]
 				}
-				r.done <- result{y: y}
+				s.answer(r, result{y: y})
 			}
 		}
 		s.st.batches.Add(1)

@@ -247,10 +247,18 @@ func TestQueueFullFastFail(t *testing.T) {
 	if st := s.Stats(); st.DroppedQueueFull != 1 || st.QueueDepth != s.cfg.QueueLimit {
 		t.Fatalf("queue-full stats wrong: %+v", st)
 	}
+	// The rejected request never entered the pending gauge; the stalled
+	// pipeline holds every admitted one.
+	if st := s.Stats(); st.Pending != int64(2+s.cfg.QueueLimit) {
+		t.Fatalf("pending %d while stalled, want %d", st.Pending, 2+s.cfg.QueueLimit)
+	}
 	release()
 	wg.Wait()
 	if st := s.Stats(); st.Served != int64(2+s.cfg.QueueLimit) {
 		t.Fatalf("served %d after release, want %d", st.Served, 2+s.cfg.QueueLimit)
+	}
+	if st := s.Stats(); st.Pending != 0 {
+		t.Fatalf("pending %d after drain, want 0", st.Pending)
 	}
 }
 

@@ -107,6 +107,7 @@ type stats struct {
 	submitted atomic.Int64
 	served    atomic.Int64
 	batches   atomic.Int64
+	pending   atomic.Int64 // admitted but not yet answered (queued or packed)
 
 	dropQueueFull atomic.Int64
 	dropDeadline  atomic.Int64
@@ -141,7 +142,8 @@ type Stats struct {
 	DroppedCanceled  int64 `json:"dropped_canceled"`
 	DroppedClosed    int64 `json:"dropped_closed"`
 
-	QueueDepth int `json:"queue_depth"` // requests queued but not yet claimed by the dispatcher
+	QueueDepth int   `json:"queue_depth"` // requests queued but not yet claimed by the dispatcher
+	Pending    int64 `json:"pending"`     // requests admitted but not yet answered (queued or packed)
 
 	BatchOccupancy HistSnapshot `json:"batch_occupancy"` // requests per batch
 	QueueWaitUS    HistSnapshot `json:"queue_wait_us"`   // enqueue → pack
@@ -161,6 +163,7 @@ func (s *Batcher) Stats() Stats {
 		DroppedCanceled:  s.st.dropCanceled.Load(),
 		DroppedClosed:    s.st.dropClosed.Load(),
 		QueueDepth:       len(s.submit),
+		Pending:          s.st.pending.Load(),
 		BatchOccupancy:   s.st.occupancy.snapshot(),
 		QueueWaitUS:      s.st.queueWait.snapshot(),
 		FlushUS:          s.st.flushLat.snapshot(),
