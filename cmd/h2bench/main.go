@@ -8,7 +8,9 @@
 //
 // Experiments: fig2, fig4, fig5, fig6, table1, fig7, fig8, fig9, ablation,
 // rhs (multi-RHS batch apply; sweep width with -rhs), serve (request
-// batching under concurrent load; tune with -conc and -window).
+// batching under concurrent load; tune with -conc and -window), registry
+// (build queue + hot swap), matvec (steady-state apply latency/allocs with
+// a machine-readable JSON report; path via -json).
 // Output is a plain-text report with one aligned table per panel; see
 // EXPERIMENTS.md for how each maps onto the paper.
 package main
@@ -35,6 +37,7 @@ func main() {
 	kern := flag.String("kernel", "coulomb", "kernel for single-kernel experiments: "+strings.Join(kernel.Names(), ", "))
 	conc := flag.Int("conc", 32, "client concurrency (serve experiment)")
 	window := flag.Duration("window", 500*time.Microsecond, "batcher flush window (serve experiment)")
+	jsonOut := flag.String("json", "", "output path for machine-readable reports (matvec experiment; \"\" = BENCH_matvec.json)")
 	flag.Parse()
 
 	if _, err := kernel.ByName(*kern); err != nil {
@@ -57,6 +60,7 @@ func main() {
 		Kernel:     *kern,
 		Conc:       *conc,
 		Window:     *window,
+		JSONOut:    *jsonOut,
 		Out:        os.Stdout,
 	}
 	if err := bench.Run(*exp, opt); err != nil {

@@ -33,7 +33,7 @@ func TestE2ESmoke(t *testing.T) {
 	)
 	reg := registry.New(registry.Config{Workers: 2})
 	defer reg.Close()
-	ts := httptest.NewServer(newServer(reg, 10*time.Second))
+	ts := httptest.NewServer(newServer(reg, 10*time.Second, true))
 	defer ts.Close()
 	client := ts.Client()
 
@@ -228,7 +228,7 @@ func TestE2EFailedBuildSurfaced(t *testing.T) {
 		return registry.DefaultBuild(ctx, sp, setStage)
 	}})
 	defer reg.Close()
-	ts := httptest.NewServer(newServer(reg, 10*time.Second))
+	ts := httptest.NewServer(newServer(reg, 10*time.Second, true))
 	defer ts.Close()
 
 	buf, _ := json.Marshal(createRequest{Name: "boom", Spec: registry.BuildSpec{Path: "panic://http"}})

@@ -80,6 +80,7 @@ func run() error {
 	flushers := flag.Int("flushers", 2, "concurrent flush workers")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline for apply endpoints (0 = none)")
 
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the service address")
 	builders := flag.Int("builders", 2, "concurrent build workers for POST /matrices")
 	buildQueue := flag.Int("buildqueue", 8, "accepted-but-not-started build limit")
 	budgetMB := flag.Int64("membudget", 0, "total matrix memory budget in MiB across ready instances (0 = unlimited); exceeding it evicts the least-recently-applied instance")
@@ -151,7 +152,7 @@ func run() error {
 		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(reg, *timeout)}
+	srv := &http.Server{Addr: *addr, Handler: newServer(reg, *timeout, *pprofOn)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("h2serve: listening on %s (maxbatch=%d window=%v queue=%d block=%v flushers=%d builders=%d membudget=%dMiB)\n",

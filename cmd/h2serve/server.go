@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
+	"h2ds/internal/core"
 	"h2ds/internal/registry"
 	"h2ds/internal/serve"
 )
@@ -28,7 +30,8 @@ const DefaultInstance = "default"
 //	POST   /apply                 alias: apply on "default"
 //	GET    /stats                 alias: "default" shape + registry counters
 //	GET    /healthz               liveness
-func newServer(reg *registry.Registry, timeout time.Duration) http.Handler {
+//	/debug/pprof/*                CPU/heap/etc profiles (only with -pprof)
+func newServer(reg *registry.Registry, timeout time.Duration, enablePprof bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /matrices", createHandler(reg))
 	mux.HandleFunc("GET /matrices", listHandler(reg))
@@ -44,6 +47,15 @@ func newServer(reg *registry.Registry, timeout time.Duration) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if enablePprof {
+		// Mounted explicitly: the blank net/http/pprof import only registers
+		// on http.DefaultServeMux, which this server does not use.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -164,9 +176,10 @@ func applyTo(reg *registry.Registry, name string, timeout time.Duration, w http.
 	writeJSON(w, http.StatusOK, applyResponse{Y: y})
 }
 
-// statsHandler reports the default instance's matrix shape and serve
-// counters (kernel and shape read from the instance's own matrix, so a
-// hot-swap is reflected immediately) together with the registry counters.
+// statsHandler reports the default instance's matrix shape, serve counters
+// (kernel and shape read from the instance's own matrix, so a hot-swap is
+// reflected immediately), the cumulative per-sweep stage timings of its
+// matvecs, and the registry counters.
 func statsHandler(reg *registry.Registry) http.HandlerFunc {
 	type matrixInfo struct {
 		N      int    `json:"n"`
@@ -177,9 +190,10 @@ func statsHandler(reg *registry.Registry) http.HandlerFunc {
 	}
 	return func(w http.ResponseWriter, _ *http.Request) {
 		out := struct {
-			Matrix   *matrixInfo    `json:"matrix,omitempty"`
-			Serve    *serve.Stats   `json:"serve,omitempty"`
-			Registry registry.Stats `json:"registry"`
+			Matrix   *matrixInfo      `json:"matrix,omitempty"`
+			Serve    *serve.Stats     `json:"serve,omitempty"`
+			Sweeps   *core.SweepStats `json:"sweeps,omitempty"`
+			Registry registry.Stats   `json:"registry"`
 		}{Registry: reg.Stats()}
 		if inf, ok := reg.Get(DefaultInstance); ok && inf.Serve != nil {
 			out.Matrix = &matrixInfo{
@@ -187,6 +201,10 @@ func statsHandler(reg *registry.Registry) http.HandlerFunc {
 				Mode: inf.Mode, Basis: inf.Basis,
 			}
 			out.Serve = inf.Serve
+			if m, ok := reg.Matrix(DefaultInstance); ok {
+				sw := m.SweepStats()
+				out.Sweeps = &sw
+			}
 		}
 		writeJSON(w, http.StatusOK, out)
 	}

@@ -49,6 +49,10 @@ type Options struct {
 	// Window is the batcher flush window for the serve experiment
 	// (0 = 500µs).
 	Window time.Duration
+	// JSONOut is the output path for experiments that emit a
+	// machine-readable report ("" = the experiment's default, e.g.
+	// BENCH_matvec.json for the matvec experiment).
+	JSONOut string
 	// Out receives the report (nil = io.Discard).
 	Out io.Writer
 }
@@ -113,7 +117,7 @@ func (o Options) seed() int64 {
 
 // Experiments lists the runnable experiment ids in paper order.
 func Experiments() []string {
-	return []string{"fig2", "fig4", "fig5", "fig6", "table1", "fig7", "fig8", "fig9", "ablation", "rhs", "serve", "registry"}
+	return []string{"fig2", "fig4", "fig5", "fig6", "table1", "fig7", "fig8", "fig9", "ablation", "rhs", "serve", "registry", "matvec"}
 }
 
 // Run executes one experiment ("fig2", ..., "table1", "ablation") or "all".
@@ -143,6 +147,8 @@ func Run(exp string, opt Options) error {
 		return ServeBench(opt)
 	case "registry":
 		return RegistryBench(opt)
+	case "matvec":
+		return MatvecJSON(opt)
 	case "all":
 		for _, e := range Experiments() {
 			if err := Run(e, opt); err != nil {

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"h2ds/internal/core"
+	"h2ds/internal/par"
+	"h2ds/internal/pointset"
+)
+
+// MatvecRun is one measured matvec configuration in the machine-readable
+// perf-trajectory report. Times are medians over repeated single applies;
+// allocs are the allocator's view of one steady-state ApplyToWith.
+type MatvecRun struct {
+	N               int     `json:"n"`
+	Leaf            int     `json:"leaf"`
+	Depth           int     `json:"depth"`
+	Mode            string  `json:"mode"`
+	MedianApplyNS   int64   `json:"median_apply_ns"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	BlockStoreBytes int64   `json:"block_store_bytes"`
+	MemKiB          float64 `json:"mem_kib"`
+	RelErr          float64 `json:"relerr"`
+}
+
+// MatvecReport is the top-level BENCH_matvec.json document. It exists so the
+// matvec hot path's trajectory (latency, allocs, block-store footprint) is
+// comparable across commits without parsing the human-readable tables.
+type MatvecReport struct {
+	Experiment string      `json:"experiment"`
+	Scale      string      `json:"scale"`
+	Kernel     string      `json:"kernel"`
+	Workers    int         `json:"workers"`
+	Runs       []MatvecRun `json:"runs"`
+}
+
+// matvecCases returns the (n, leaf) grid for the given scale. The small-n
+// deep-tree case (small leaves force many levels) is the configuration where
+// per-level runtime overhead, not flops, dominates the apply.
+func matvecCases(scale string) [][2]int {
+	switch scale {
+	case "tiny":
+		return [][2]int{{1500, 25}, {3000, 50}}
+	case "medium":
+		return [][2]int{{5000, 25}, {20000, 100}, {40000, 100}}
+	case "paper":
+		return [][2]int{{5000, 25}, {20000, 100}, {80000, 200}, {160000, 200}}
+	default: // small
+		return [][2]int{{5000, 25}, {20000, 100}}
+	}
+}
+
+// MatvecJSON measures the steady-state apply across the scale's (n, leaf)
+// grid in both memory modes and writes BENCH_matvec.json (path overridable
+// with -json), printing the same rows as an aligned table. The JSON file is
+// the cross-PR perf record: CI uploads it as an artifact on every run.
+func MatvecJSON(opt Options) error {
+	out := opt.out()
+	k, err := opt.kernel()
+	if err != nil {
+		return err
+	}
+	workers := par.Resolve(opt.Threads)
+	fmt.Fprintf(out, "\n# matvec: steady-state apply trajectory (kernel=%s workers=%d scale=%s)\n",
+		k.Name(), workers, opt.Scale)
+	tb := newTable(out, "median apply latency and allocs",
+		"n", "leaf", "depth", "mode", "apply_us", "allocs/op", "blockstore_KiB", "relerr")
+
+	rep := MatvecReport{Experiment: "matvec", Scale: opt.Scale, Kernel: k.Name(), Workers: workers}
+	for _, c := range matvecCases(opt.Scale) {
+		n, leaf := c[0], c[1]
+		pts := pointset.Cube(n, 3, opt.seed())
+		for _, mode := range []core.MemoryMode{core.Normal, core.OnTheFly} {
+			cfg := core.Config{Kind: core.DataDriven, Mode: mode, Tol: 1e-6,
+				LeafSize: leaf, Workers: opt.Threads, Sampler: opt.sampler()}
+			m, err := core.Build(pts, k, cfg)
+			if err != nil {
+				return err
+			}
+			ws := m.NewWorkspace()
+			b := randVec(n, opt.seed()+7)
+			y := make([]float64, n)
+			m.ApplyToWith(ws, y, b) // warm-up: grows scratch, pages generators
+
+			samples := opt.reps()
+			if samples < 5 {
+				samples = 5
+			}
+			times := make([]int64, samples)
+			for i := range times {
+				t0 := time.Now()
+				m.ApplyToWith(ws, y, b)
+				times[i] = time.Since(t0).Nanoseconds()
+			}
+			sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+			median := times[len(times)/2]
+
+			allocs := testing.AllocsPerRun(5, func() { m.ApplyToWith(ws, y, b) })
+			mem := m.Memory()
+			run := MatvecRun{
+				N: n, Leaf: leaf, Depth: m.Tree.Depth(), Mode: mode.String(),
+				MedianApplyNS: median, AllocsPerOp: allocs,
+				BlockStoreBytes: mem.Coupling + mem.Nearfield,
+				MemKiB:          mem.KiB(),
+				RelErr:          m.RelErrorVs(b, y, core.DefaultErrorRows, opt.seed()+13),
+			}
+			rep.Runs = append(rep.Runs, run)
+			tb.row(fmt.Sprintf("%d", n), fmt.Sprintf("%d", leaf), fmt.Sprintf("%d", run.Depth),
+				run.Mode, fmt.Sprintf("%.1f", float64(median)/1000),
+				fmt.Sprintf("%.1f", allocs),
+				fmt.Sprintf("%.1f", float64(run.BlockStoreBytes)/1024),
+				fmt.Sprintf("%.2e", run.RelErr))
+		}
+	}
+	tb.flush()
+
+	path := opt.JSONOut
+	if path == "" {
+		path = "BENCH_matvec.json"
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nwrote %s\n", path)
+	return nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -19,17 +20,40 @@ type blockKey struct{ I, J int }
 // were stored at construction (normal mode) or are absent (on-the-fly mode
 // bypasses the store entirely).
 //
+// The store has two representations. During the build phase it is a
+// map[blockKey] index over individually-allocated blocks — cheap to insert
+// concurrently. Freeze compacts it into a frozen CSR layout: a per-node
+// offset array (rowPtr) over sorted column ids (colIdx) resolving each
+// (i, j) to a block header in one contiguous header array, with every block
+// payload copied into a single []float64 slab in traversal (row-major
+// (i, j)) order. The frozen read path therefore does no map lookups and no
+// per-block pointer-chases, and the coupling sweep streams the slab in apply
+// order; the map and the scattered build-phase blocks are released.
+//
 // Concurrency: Put is safe for concurrent use during parallel construction,
 // and all read methods (Get, Apply, ApplyBatch, Len, Bytes, MaxBlockBytes)
 // take a read lock, so concurrent Put+Get during the build phase is safe.
-// Once the store is complete, Freeze switches reads to a lock-free fast
-// path; Put after Freeze panics.
+// Once the store is complete, Freeze switches reads to the lock-free compact
+// fast path; Put after Freeze panics.
 type BlockStore struct {
 	mu       sync.RWMutex
 	frozen   atomic.Bool
 	index    map[blockKey]int32
 	blocks   []*mat.Dense
 	directed bool
+
+	// Frozen CSR form (nil until Freeze). hdr[k]'s Data aliases slab; the
+	// block for (i, j) is hdr[blockAt(i, j)].
+	rowPtr []int32
+	colIdx []int32
+	hdr    []mat.Dense
+	slab   []float64
+
+	// Byte accounting memoized at Freeze time: Bytes and MaxBlockBytes are
+	// O(blocks) walks before Freeze and O(1) after (MemoryStats reads them
+	// repeatedly).
+	frozenBytes  int64
+	frozenMaxBlk int64
 }
 
 // NewBlockStore returns an empty triangular store for symmetric kernels:
@@ -61,17 +85,121 @@ func (s *BlockStore) Put(i, j int, b *mat.Dense) {
 	s.mu.Unlock()
 }
 
-// Freeze marks construction as complete: subsequent reads skip locking
-// entirely (the matvec hot path) and further Puts panic. All Puts must
-// happen-before Freeze (the builder's parallel-for barrier guarantees this).
-func (s *BlockStore) Freeze() { s.frozen.Store(true) }
-
-// Get returns the block stored for exactly (i, j), or nil.
-func (s *BlockStore) Get(i, j int) *mat.Dense {
-	if !s.frozen.Load() {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
+// Freeze marks construction as complete and compacts the store into its
+// frozen CSR form: subsequent reads are lock-free, map-free, and stream one
+// contiguous payload slab; further Puts panic. All Puts must happen-before
+// Freeze (the builder's parallel-for barrier guarantees this). Freeze is
+// idempotent.
+func (s *BlockStore) Freeze() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frozen.Load() {
+		return
 	}
+	s.compact()
+	s.frozen.Store(true)
+}
+
+// compact builds the CSR index and payload slab from the build-phase map and
+// releases the map-backed representation. Caller holds mu.
+func (s *BlockStore) compact() {
+	nBlocks := len(s.blocks)
+	keys := make([]blockKey, 0, nBlocks)
+	maxI := -1
+	var slabLen int64
+	var maxBlk int64
+	for k := range s.index {
+		keys = append(keys, k)
+		if k.I > maxI {
+			maxI = k.I
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].I != keys[b].I {
+			return keys[a].I < keys[b].I
+		}
+		return keys[a].J < keys[b].J
+	})
+	for _, k := range keys {
+		b := s.blocks[s.index[k]]
+		sz := int64(len(b.Data))
+		slabLen += sz
+		if bb := sz * 8; bb > maxBlk {
+			maxBlk = bb
+		}
+	}
+
+	s.rowPtr = make([]int32, maxI+2)
+	s.colIdx = make([]int32, len(keys))
+	s.hdr = make([]mat.Dense, len(keys))
+	s.slab = make([]float64, slabLen)
+	var off int64
+	for k, key := range keys {
+		b := s.blocks[s.index[key]]
+		seg := s.slab[off : off+int64(len(b.Data))]
+		copy(seg, b.Data)
+		s.hdr[k] = mat.Dense{Rows: b.Rows, Cols: b.Cols, Data: seg}
+		s.colIdx[k] = int32(key.J)
+		s.rowPtr[key.I+1]++
+		off += int64(len(b.Data))
+	}
+	for i := 1; i < len(s.rowPtr); i++ {
+		s.rowPtr[i] += s.rowPtr[i-1]
+	}
+
+	// Memoized accounting: slab payload, header array, and index arrays.
+	s.frozenBytes = slabLen*8 + int64(len(s.hdr))*40 + int64(len(s.rowPtr)+len(s.colIdx))*4
+	s.frozenMaxBlk = maxBlk
+
+	// Release the build-phase representation (the scattered blocks and the
+	// map are the last references to the original payload allocations).
+	s.index = nil
+	s.blocks = nil
+}
+
+// blockAt resolves (i, j) in the frozen CSR index to a header position, or
+// -1. Rows are interaction/nearfield lists — a few dozen entries — so a
+// branch-light binary search beats hashing without any pointer-chasing.
+func (s *BlockStore) blockAt(i, j int) int {
+	if i < 0 || i+1 >= len(s.rowPtr) {
+		return -1
+	}
+	lo, hi := int(s.rowPtr[i]), int(s.rowPtr[i+1])
+	jj := int32(j)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.colIdx[mid] < jj {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < int(s.rowPtr[i+1]) && s.colIdx[lo] == jj {
+		return lo
+	}
+	return -1
+}
+
+// Get returns the block stored for exactly (i, j), or nil. After Freeze the
+// returned header aliases the compact slab.
+func (s *BlockStore) Get(i, j int) *mat.Dense {
+	if s.frozen.Load() {
+		if k := s.blockAt(i, j); k >= 0 {
+			return &s.hdr[k]
+		}
+		// Frozen without a CSR index only happens for stores frozen through
+		// the test-only freezeNoCompact path; fall through to the map.
+		if s.index == nil {
+			return nil
+		}
+		k, ok := s.index[blockKey{i, j}]
+		if !ok {
+			return nil
+		}
+		return s.blocks[k]
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	k, ok := s.index[blockKey{i, j}]
 	if !ok {
 		return nil
@@ -121,20 +249,28 @@ func (s *BlockStore) ApplyBatch(g *mat.Dense, i, j int, q *mat.Dense) bool {
 
 // Len returns the number of stored blocks.
 func (s *BlockStore) Len() int {
-	if !s.frozen.Load() {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
+	if s.frozen.Load() {
+		if s.rowPtr != nil {
+			return len(s.hdr)
+		}
+		return len(s.blocks)
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.blocks)
 }
 
-// Bytes returns the memory footprint: dense payloads plus index entries
-// (key, value, and map bucket overhead estimated at 8 bytes per entry).
+// Bytes returns the memory footprint. Frozen stores answer from the value
+// memoized at Freeze time (slab payload + header array + CSR index);
+// build-phase stores walk the blocks and charge dense payloads plus index
+// entries (key, value, and map bucket overhead estimated at 8 bytes per
+// entry).
 func (s *BlockStore) Bytes() int64 {
-	if !s.frozen.Load() {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
+	if s.frozen.Load() && s.rowPtr != nil {
+		return s.frozenBytes
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var b int64
 	for _, blk := range s.blocks {
 		b += int64(len(blk.Data))*8 + 24
@@ -144,12 +280,14 @@ func (s *BlockStore) Bytes() int64 {
 }
 
 // MaxBlockBytes returns the size of the largest stored block, the quantity
-// that bounds per-worker scratch in on-the-fly mode.
+// that bounds per-worker scratch in on-the-fly mode. Frozen stores answer
+// from the memoized Freeze-time value.
 func (s *BlockStore) MaxBlockBytes() int64 {
-	if !s.frozen.Load() {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
+	if s.frozen.Load() && s.rowPtr != nil {
+		return s.frozenMaxBlk
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var m int64
 	for _, blk := range s.blocks {
 		if b := int64(len(blk.Data)) * 8; b > m {
@@ -157,4 +295,26 @@ func (s *BlockStore) MaxBlockBytes() int64 {
 		}
 	}
 	return m
+}
+
+// freezeNoCompact freezes the store while keeping the build-phase map
+// representation — the seed read path. It exists for the equivalence tests
+// that check the compacted layout is bit-identical to the map-backed one.
+func (s *BlockStore) freezeNoCompact() { s.frozen.Store(true) }
+
+// uncompacted returns a map-backed clone of a frozen compacted store, frozen
+// without compaction — the seed (fork-join era) read path over identical
+// payload values. Test helper for bitwise-equivalence checks.
+func (s *BlockStore) uncompacted() *BlockStore {
+	if s.rowPtr == nil {
+		panic("core: uncompacted needs a compacted store")
+	}
+	c := &BlockStore{index: make(map[blockKey]int32), directed: s.directed}
+	for i := 0; i+1 < len(s.rowPtr); i++ {
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			c.Put(i, int(s.colIdx[k]), s.hdr[k].Clone())
+		}
+	}
+	c.freezeNoCompact()
+	return c
 }

@@ -10,8 +10,18 @@ import (
 	"h2ds/internal/sample"
 )
 
-// parForCfg is the package's parallel-for with the configured worker count.
-func parForCfg(workers, n int, fn func(i int)) { par.For(workers, n, fn) }
+// parFor is the package's parallel-for for the construction phase. Build and
+// deserialization own a transient persistent pool for their duration, so the
+// many level-by-level construction phases reuse one set of worker
+// goroutines; outside an active build it falls back to the fork-join
+// runtime.
+func (m *Matrix) parFor(n int, fn func(i int)) {
+	if m.buildPool != nil {
+		m.buildPool.For(n, fn)
+		return
+	}
+	par.For(m.Cfg.Workers, n, fn)
+}
 
 // swapped reverses a kernel's arguments: swapped{k}(x, y) = k(y, x). The
 // unsymmetric construction uses it to assemble transposed farfield panels
@@ -49,7 +59,7 @@ func (m *Matrix) buildDataDriven() {
 	// (V, W); for symmetric kernels the row side serves both roles.
 	for l := m.Tree.Depth() - 1; l >= 0; l-- {
 		level := m.Tree.Levels[l]
-		parForCfg(m.Cfg.Workers, len(level), func(k int) {
+		m.parFor(len(level), func(k int) {
 			id := level[k]
 			nd := &m.Tree.Nodes[id]
 			m.skelPts[id] = m.Tree.Points
@@ -117,7 +127,7 @@ func (m *Matrix) buildInterpolation() {
 	p := m.Cfg.P
 	grids := make([]*interp.Grid, len(m.Tree.Nodes))
 	// Grids first (needed by both leaf bases and parent transfers).
-	parForCfg(m.Cfg.Workers, len(m.Tree.Nodes), func(id int) {
+	m.parFor(len(m.Tree.Nodes), func(id int) {
 		grids[id] = interp.NewGrid(m.Tree.Nodes[id].Box, p)
 	})
 	rank := grids[0].Rank()
@@ -125,7 +135,7 @@ func (m *Matrix) buildInterpolation() {
 	for i := range gridIdx {
 		gridIdx[i] = i
 	}
-	parForCfg(m.Cfg.Workers, len(m.Tree.Nodes), func(id int) {
+	m.parFor(len(m.Tree.Nodes), func(id int) {
 		nd := &m.Tree.Nodes[id]
 		m.ranks[id] = rank
 		m.skel[id] = gridIdx

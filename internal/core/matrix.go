@@ -7,6 +7,7 @@ import (
 
 	"h2ds/internal/kernel"
 	"h2ds/internal/mat"
+	"h2ds/internal/par"
 	"h2ds/internal/pointset"
 	"h2ds/internal/sample"
 	"h2ds/internal/tree"
@@ -63,7 +64,12 @@ type Matrix struct {
 	// allocation-free in steady state. See Workspace.
 	wsPool sync.Pool
 
-	stats BuildStats
+	// buildPool is the transient persistent worker pool active during Build
+	// and deserialization (nil otherwise); parFor runs on it.
+	buildPool *par.Pool
+
+	stats  BuildStats
+	sweeps sweepTimers
 }
 
 // BuildStats records construction timings and counters for the bench
@@ -95,6 +101,11 @@ func Build(pts *pointset.Points, k kernel.Pairwise, cfg Config) (*Matrix, error)
 	start := time.Now()
 
 	m := &Matrix{Cfg: cfg, Kern: k, N: pts.Len(), Dim: pts.Dim}
+	m.buildPool = par.NewPool(cfg.Workers)
+	defer func() {
+		m.buildPool.Close()
+		m.buildPool = nil
+	}()
 
 	t0 := time.Now()
 	if cfg.ReuseTree != nil {
@@ -251,7 +262,7 @@ func (m *Matrix) storeBlocks() {
 		}
 	}
 
-	parForCfg(m.Cfg.Workers, len(coupPairs), func(k int) {
+	m.parFor(len(coupPairs), func(k int) {
 		p := coupPairs[k]
 		if m.ranks[p.i] == 0 || m.colRank(p.j) == 0 {
 			return
@@ -259,7 +270,7 @@ func (m *Matrix) storeBlocks() {
 		b := kernel.NewBlock(m.Kern, m.skelPts[p.i], m.skel[p.i], m.skelPts[p.j], m.colSkeleton(p.j))
 		m.coup.Put(p.i, p.j, b)
 	})
-	parForCfg(m.Cfg.Workers, len(nearPairs), func(k int) {
+	m.parFor(len(nearPairs), func(k int) {
 		p := nearPairs[k]
 		ni, nj := &m.Tree.Nodes[p.i], &m.Tree.Nodes[p.j]
 		b := kernel.NewBlock(m.Kern, m.Tree.Points, m.allIdx[ni.Start:ni.End], m.Tree.Points, m.allIdx[nj.Start:nj.End])

@@ -64,8 +64,9 @@ func (bj *BlockJacobi) ApplyTo(y, b []float64) {
 		panic(fmt.Sprintf("core: blockjacobi length mismatch y=%d b=%d n=%d", len(y), len(b), m.N))
 	}
 	ws := m.getWorkspace()
+	ws.check(m, par.Resolve(bj.workers))
 	m.Tree.PermuteVec(ws.bp, b)
-	par.For(bj.workers, len(bj.leaves), func(k int) {
+	ws.forWorker(len(bj.leaves), func(_, k int) {
 		nd := &m.Tree.Nodes[bj.leaves[k]]
 		bj.factors[k].SolveTo(ws.yp[nd.Start:nd.End], ws.bp[nd.Start:nd.End])
 	})

@@ -10,6 +10,7 @@ import (
 	"h2ds/internal/interp"
 	"h2ds/internal/kernel"
 	"h2ds/internal/mat"
+	"h2ds/internal/par"
 	"h2ds/internal/pointset"
 	"h2ds/internal/sample"
 	"h2ds/internal/tree"
@@ -421,7 +422,12 @@ func readBody(s *serialReader, k kernel.Pairwise) (*Matrix, error) {
 		return nil, err
 	}
 	if m.Cfg.Mode == Normal {
+		// Reassemble the stored blocks on a transient build pool, exactly as
+		// Build does.
+		m.buildPool = par.NewPool(m.Cfg.Workers)
 		m.storeBlocks()
+		m.buildPool.Close()
+		m.buildPool = nil
 	}
 	m.finishStats()
 	return m, nil

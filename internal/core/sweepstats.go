@@ -1,0 +1,60 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// sweepEpoch anchors the monotonic sweep-stage timestamps.
+var sweepEpoch = time.Now()
+
+// nowNS returns a monotonic nanosecond timestamp for the sweep timers. One
+// call is ~tens of nanoseconds; an apply takes five, which is noise against
+// even the smallest sweep.
+func nowNS() int64 { return int64(time.Since(sweepEpoch)) }
+
+// sweepTimers accumulates cumulative per-stage wall time across every apply
+// (vector, transpose, and batch) of a Matrix. Concurrent applies each add
+// their own stage durations, so under concurrency the sums can exceed wall
+// time — they are CPU-style cumulative stage costs, intended for relative
+// stage breakdowns (the serve layer's /stats endpoint reports them).
+type sweepTimers struct {
+	applies  atomic.Int64
+	up       atomic.Int64
+	coupling atomic.Int64
+	down     atomic.Int64
+	leaf     atomic.Int64
+}
+
+// record credits one apply given the five stage boundary timestamps.
+func (t *sweepTimers) record(t0, t1, t2, t3, t4 int64) {
+	t.applies.Add(1)
+	t.up.Add(t1 - t0)
+	t.coupling.Add(t2 - t1)
+	t.down.Add(t3 - t2)
+	t.leaf.Add(t4 - t3)
+}
+
+// SweepStats is a snapshot of the cumulative per-stage sweep timings: how
+// the matvec time splits across the upward (leaf projection + bottom-to-top
+// transfer), coupling, downward (top-to-bottom transfer), and leaf
+// (expansion + nearfield) stages of Algorithm 2.
+type SweepStats struct {
+	Applies    int64 `json:"applies"`
+	UpNS       int64 `json:"up_ns"`
+	CouplingNS int64 `json:"coupling_ns"`
+	DownNS     int64 `json:"down_ns"`
+	LeafNS     int64 `json:"leaf_ns"`
+}
+
+// SweepStats returns the cumulative stage timings recorded since the matrix
+// was built. Safe for concurrent use.
+func (m *Matrix) SweepStats() SweepStats {
+	return SweepStats{
+		Applies:    m.sweeps.applies.Load(),
+		UpNS:       m.sweeps.up.Load(),
+		CouplingNS: m.sweeps.coupling.Load(),
+		DownNS:     m.sweeps.down.Load(),
+		LeafNS:     m.sweeps.leaf.Load(),
+	}
+}

@@ -24,11 +24,21 @@ import (
 //
 // The sweep kernels are bound to the workspace as method-value closures at
 // construction time; per-call parameters travel through workspace fields.
-// This keeps the steady-state serial matvec at zero allocations per
-// operation (parallel sweeps additionally pay the transient goroutine
-// bookkeeping of par.ForWorker).
+// This keeps the steady-state matvec at zero allocations per operation: the
+// serial path runs inline, and the parallel sweeps run on the workspace's
+// persistent par.Pool — the same long-lived worker goroutines across all
+// five sweeps and across successive applies — instead of forking and
+// joining fresh goroutines per tree level.
 type Workspace struct {
 	m *Matrix
+
+	// pool is the workspace's persistent parallel runtime. Workspaces are
+	// checked out by one goroutine at a time (the pool's contract), so
+	// concurrent applies each drive their own pool. A nil pool falls back
+	// to the fork-join par.ForWorker — the seed runtime, kept for the
+	// equivalence tests.
+	pool    *par.Pool
+	workers int
 
 	// Permutation buffers (length N).
 	bp, yp []float64
@@ -85,7 +95,9 @@ func (m *Matrix) NewWorkspace() *Workspace {
 	}
 	ws.rowSlab = make([]float64, ws.rowOff[nNodes])
 	ws.colSlab = make([]float64, ws.colOff[nNodes])
-	ws.growScratch(par.Resolve(m.Cfg.Workers))
+	ws.workers = par.Resolve(m.Cfg.Workers)
+	ws.pool = par.NewPool(ws.workers)
+	ws.growScratch(ws.workers)
 
 	ws.upFn = ws.upNode
 	ws.coupFn = ws.coupNode
@@ -110,12 +122,40 @@ func (ws *Workspace) growScratch(n int) {
 }
 
 // check validates the workspace against the matrix it is about to serve and
-// adapts to a changed worker count.
+// adapts to a changed worker count (resizing the pool if the resolved count
+// moved, e.g. under a GOMAXPROCS change).
 func (ws *Workspace) check(m *Matrix, workers int) {
 	if ws.m != m {
 		panic("core: workspace used with a different Matrix than it was created for")
 	}
+	ws.workers = workers
+	if ws.pool != nil && ws.pool.Workers() != workers {
+		ws.pool.Close()
+		ws.pool = par.NewPool(workers)
+	}
 	ws.growScratch(workers)
+}
+
+// forWorker runs one sweep phase on the workspace's persistent pool, or on
+// the fork-join runtime when the pool has been released (nil).
+func (ws *Workspace) forWorker(n int, fn func(w, i int)) {
+	if ws.pool != nil {
+		ws.pool.ForWorker(n, fn)
+		return
+	}
+	par.ForWorker(ws.workers, n, fn)
+}
+
+// Close releases the workspace's persistent worker goroutines. It is safe
+// to keep using the workspace afterwards (sweeps fall back to the fork-join
+// runtime); unclosed workspaces release their goroutines via a finalizer
+// when garbage-collected, so Close is an optimization for deterministic
+// teardown, not a correctness requirement.
+func (ws *Workspace) Close() {
+	if ws.pool != nil {
+		ws.pool.Close()
+		ws.pool = nil
+	}
 }
 
 // BatchWidth returns the multi-RHS width the batch buffers are currently
@@ -183,23 +223,27 @@ func (m *Matrix) ApplyTransposeToWith(ws *Workspace, y, b []float64) {
 // with all state drawn from ws. yp and bp must not alias (stage 5 reads
 // bp's nearfield neighbours while writing yp).
 func (m *Matrix) applyPermutedWith(ws *Workspace, yp, bp []float64) {
-	workers := par.Resolve(m.Cfg.Workers)
-	ws.check(m, workers)
+	ws.check(m, par.Resolve(m.Cfg.Workers))
 	ws.curB, ws.curY = bp, yp
 	// Apply role assignment: q carries column-side coefficients, g row-side.
 	ws.q, ws.qOff = ws.colSlab, ws.colOff
 	ws.g, ws.gOff = ws.rowSlab, ws.rowOff
 
+	t0 := nowNS()
 	for l := m.Tree.Depth() - 1; l >= 0; l-- {
 		ws.level = m.Tree.Levels[l]
-		par.ForWorker(workers, len(ws.level), ws.upFn)
+		ws.forWorker(len(ws.level), ws.upFn)
 	}
-	par.ForWorker(workers, len(m.Tree.Nodes), ws.coupFn)
+	t1 := nowNS()
+	ws.forWorker(len(m.Tree.Nodes), ws.coupFn)
+	t2 := nowNS()
 	for l := 0; l < m.Tree.Depth(); l++ {
 		ws.level = m.Tree.Levels[l]
-		par.ForWorker(workers, len(ws.level), ws.downFn)
+		ws.forWorker(len(ws.level), ws.downFn)
 	}
-	par.ForWorker(workers, len(m.Tree.Leaves), ws.leafFn)
+	t3 := nowNS()
+	ws.forWorker(len(m.Tree.Leaves), ws.leafFn)
+	m.sweeps.record(t0, t1, t2, t3, nowNS())
 	ws.curB, ws.curY = nil, nil
 }
 
@@ -207,22 +251,26 @@ func (m *Matrix) applyPermutedWith(ws *Workspace, yp, bp []float64) {
 // exchanged: the upward sweep goes through U/R, couplings apply B_{j,i}ᵀ,
 // and the downward/leaf sweeps go through V/W.
 func (m *Matrix) applyTransposePermutedWith(ws *Workspace, yp, bp []float64) {
-	workers := par.Resolve(m.Cfg.Workers)
-	ws.check(m, workers)
+	ws.check(m, par.Resolve(m.Cfg.Workers))
 	ws.curB, ws.curY = bp, yp
 	ws.q, ws.qOff = ws.rowSlab, ws.rowOff
 	ws.g, ws.gOff = ws.colSlab, ws.colOff
 
+	t0 := nowNS()
 	for l := m.Tree.Depth() - 1; l >= 0; l-- {
 		ws.level = m.Tree.Levels[l]
-		par.ForWorker(workers, len(ws.level), ws.upTFn)
+		ws.forWorker(len(ws.level), ws.upTFn)
 	}
-	par.ForWorker(workers, len(m.Tree.Nodes), ws.coupTFn)
+	t1 := nowNS()
+	ws.forWorker(len(m.Tree.Nodes), ws.coupTFn)
+	t2 := nowNS()
 	for l := 0; l < m.Tree.Depth(); l++ {
 		ws.level = m.Tree.Levels[l]
-		par.ForWorker(workers, len(ws.level), ws.downTFn)
+		ws.forWorker(len(ws.level), ws.downTFn)
 	}
-	par.ForWorker(workers, len(m.Tree.Leaves), ws.leafTFn)
+	t3 := nowNS()
+	ws.forWorker(len(m.Tree.Leaves), ws.leafTFn)
+	m.sweeps.record(t0, t1, t2, t3, nowNS())
 	ws.curB, ws.curY = nil, nil
 }
 
@@ -494,8 +542,7 @@ func (m *Matrix) ApplyBatchToWith(ws *Workspace, Y, B *mat.Dense) {
 		panic(fmt.Sprintf("core: applyBatch rows %d want %d", B.Rows, m.N))
 	}
 	k := B.Cols
-	workers := par.Resolve(m.Cfg.Workers)
-	ws.check(m, workers)
+	ws.check(m, par.Resolve(m.Cfg.Workers))
 	ws.ensureBatch(k)
 
 	// Permute the batch rows.
@@ -503,16 +550,21 @@ func (m *Matrix) ApplyBatchToWith(ws *Workspace, Y, B *mat.Dense) {
 		copy(ws.bpB.Row(row), B.Row(orig))
 	}
 
+	t0 := nowNS()
 	for l := m.Tree.Depth() - 1; l >= 0; l-- {
 		ws.level = m.Tree.Levels[l]
-		par.ForWorker(workers, len(ws.level), ws.bUpFn)
+		ws.forWorker(len(ws.level), ws.bUpFn)
 	}
-	par.ForWorker(workers, len(m.Tree.Nodes), ws.bCoupFn)
+	t1 := nowNS()
+	ws.forWorker(len(m.Tree.Nodes), ws.bCoupFn)
+	t2 := nowNS()
 	for l := 0; l < m.Tree.Depth(); l++ {
 		ws.level = m.Tree.Levels[l]
-		par.ForWorker(workers, len(ws.level), ws.bDownFn)
+		ws.forWorker(len(ws.level), ws.bDownFn)
 	}
-	par.ForWorker(workers, len(m.Tree.Leaves), ws.bLeafFn)
+	t3 := nowNS()
+	ws.forWorker(len(m.Tree.Leaves), ws.bLeafFn)
+	m.sweeps.record(t0, t1, t2, t3, nowNS())
 
 	// Un-permute rows into the caller's output.
 	Y.Reshape(m.N, k)

@@ -282,13 +282,133 @@ func MulVecAdd(y []float64, a *Dense, x []float64) {
 	if len(x) != a.Cols || len(y) != a.Rows {
 		panic(fmt.Sprintf("mat: mulvecadd shape mismatch %dx%d * %d -> %d", a.Rows, a.Cols, len(x), len(y)))
 	}
-	for i := 0; i < a.Rows; i++ {
-		row := a.Row(i)
-		s := 0.0
-		for j, v := range row {
-			s += v * x[j]
-		}
-		y[i] += s
+	i := 0
+	for ; i+2 <= a.Rows; i += 2 {
+		s0, s1 := dot2(a.Row(i), a.Row(i+1), x)
+		y[i] += s0
+		y[i+1] += s1
+	}
+	if i < a.Rows {
+		y[i] += dot(a.Row(i), x)
+	}
+}
+
+// dot is the shared row-dot kernel: four independent accumulators break the
+// FMA dependency chain (the naive single-accumulator loop serializes on the
+// ~4-cycle add latency), combined as (s0+s1)+(s2+s3) with a sequential tail.
+// Every matrix product in this package — vector, strided-batch, serial or
+// parallel — reduces through this exact grouping, which is what makes their
+// results mutually bitwise-identical.
+func dot(row, x []float64) float64 {
+	x = x[:len(row)] // bounds-check elimination for the unrolled loads
+	var s0, s1, s2, s3 float64
+	j := 0
+	for ; j+4 <= len(row); j += 4 {
+		s0 += row[j] * x[j]
+		s1 += row[j+1] * x[j+1]
+		s2 += row[j+2] * x[j+2]
+		s3 += row[j+3] * x[j+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; j < len(row); j++ {
+		s += row[j] * x[j]
+	}
+	return s
+}
+
+// dot2 computes dot(r0, x) and dot(r1, x) in one pass, loading x once for
+// both rows. Each row keeps its own four accumulators with dot's exact
+// grouping, so the results are bitwise-identical to two dot calls.
+func dot2(r0, r1, x []float64) (float64, float64) {
+	x = x[:len(r0)]
+	r1 = r1[:len(r0)]
+	var a0, a1, a2, a3 float64
+	var b0, b1, b2, b3 float64
+	j := 0
+	for ; j+4 <= len(r0); j += 4 {
+		x0, x1, x2, x3 := x[j], x[j+1], x[j+2], x[j+3]
+		a0 += r0[j] * x0
+		a1 += r0[j+1] * x1
+		a2 += r0[j+2] * x2
+		a3 += r0[j+3] * x3
+		b0 += r1[j] * x0
+		b1 += r1[j+1] * x1
+		b2 += r1[j+2] * x2
+		b3 += r1[j+3] * x3
+	}
+	sa := (a0 + a1) + (a2 + a3)
+	sb := (b0 + b1) + (b2 + b3)
+	for ; j < len(r0); j++ {
+		sa += r0[j] * x[j]
+		sb += r1[j] * x[j]
+	}
+	return sa, sb
+}
+
+// dotStride is dot against the virtual vector x[k] = b[k*n+j] (column j of
+// a row-major matrix laid out in b). The accumulator grouping matches dot
+// exactly, so batch products reproduce the vector products digit for digit.
+func dotStride(row, b []float64, j, n int) float64 {
+	var s0, s1, s2, s3 float64
+	k := 0
+	for ; k+4 <= len(row); k += 4 {
+		p := k*n + j
+		s0 += row[k] * b[p]
+		s1 += row[k+1] * b[p+n]
+		s2 += row[k+2] * b[p+2*n]
+		s3 += row[k+3] * b[p+3*n]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; k < len(row); k++ {
+		s += row[k] * b[k*n+j]
+	}
+	return s
+}
+
+// axpy computes y[i] += a*x[i], unrolled. Each output element receives
+// exactly one add, so unrolling preserves per-element accumulation order.
+func axpy(y []float64, a float64, x []float64) {
+	y = y[:len(x)] // bounds-check elimination for the unrolled stores
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// axpy2 computes y[i] = (y[i] + a0*x0[i]) + a1*x1[i]: two sequential
+// per-element adds fused into one pass, bitwise-identical to axpy(y, a0, x0)
+// followed by axpy(y, a1, x1) but with half the y stores and reloads.
+func axpy2(y []float64, a0 float64, x0 []float64, a1 float64, x1 []float64) {
+	y = y[:len(x0)]
+	x1 = x1[:len(x0)]
+	i := 0
+	for ; i+4 <= len(x0); i += 4 {
+		y[i] = (y[i] + a0*x0[i]) + a1*x1[i]
+		y[i+1] = (y[i+1] + a0*x0[i+1]) + a1*x1[i+1]
+		y[i+2] = (y[i+2] + a0*x0[i+2]) + a1*x1[i+2]
+		y[i+3] = (y[i+3] + a0*x0[i+3]) + a1*x1[i+3]
+	}
+	for ; i < len(x0); i++ {
+		y[i] = (y[i] + a0*x0[i]) + a1*x1[i]
+	}
+}
+
+// axpy4 fuses four sequential axpy passes: per element the adds apply in
+// row order with one rounding each, bitwise-identical to four axpy calls,
+// with a quarter of the y stores and reloads.
+func axpy4(y []float64, a0 float64, x0 []float64, a1 float64, x1 []float64, a2 float64, x2 []float64, a3 float64, x3 []float64) {
+	y = y[:len(x0)]
+	x1 = x1[:len(x0)]
+	x2 = x2[:len(x0)]
+	x3 = x3[:len(x0)]
+	for i := range x0 {
+		y[i] = (((y[i] + a0*x0[i]) + a1*x1[i]) + a2*x2[i]) + a3*x3[i]
 	}
 }
 
@@ -302,12 +422,7 @@ func MulVecAddRange(y []float64, a *Dense, r0, r1 int, x []float64) {
 			r0, r1, a.Rows, a.Cols, len(x), len(y)))
 	}
 	for i := r0; i < r1; i++ {
-		row := a.Row(i)
-		s := 0.0
-		for j, v := range row {
-			s += v * x[j]
-		}
-		y[i-r0] += s
+		y[i-r0] += dot(a.Row(i), x)
 	}
 }
 
@@ -323,10 +438,7 @@ func MulTVecAddRange(y []float64, a *Dense, r0, r1 int, x []float64) {
 		if xi == 0 {
 			continue
 		}
-		row := a.Row(i)
-		for j, v := range row {
-			y[j] += xi * v
-		}
+		axpy(y, xi, a.Row(i))
 	}
 }
 
@@ -336,15 +448,35 @@ func MulTVecAdd(y []float64, a *Dense, x []float64) {
 	if len(x) != a.Rows || len(y) != a.Cols {
 		panic(fmt.Sprintf("mat: multvecadd shape mismatch %dx%d^T * %d -> %d", a.Rows, a.Cols, len(x), len(y)))
 	}
-	for i := 0; i < a.Rows; i++ {
-		xi := x[i]
-		if xi == 0 {
+	i := 0
+	for ; i+4 <= a.Rows; i += 4 {
+		x0, x1, x2, x3 := x[i], x[i+1], x[i+2], x[i+3]
+		if x0 != 0 && x1 != 0 && x2 != 0 && x3 != 0 {
+			axpy4(y, x0, a.Row(i), x1, a.Row(i+1), x2, a.Row(i+2), x3, a.Row(i+3))
 			continue
 		}
-		row := a.Row(i)
-		for j, v := range row {
-			y[j] += xi * v
-		}
+		axpyPair(y, a, i, x0, x1)
+		axpyPair(y, a, i+2, x2, x3)
+	}
+	for ; i+2 <= a.Rows; i += 2 {
+		axpyPair(y, a, i, x[i], x[i+1])
+	}
+	if i < a.Rows && x[i] != 0 {
+		axpy(y, x[i], a.Row(i))
+	}
+}
+
+// axpyPair applies rows i and i+1 of a scaled by x0 and x1, preserving the
+// per-row zero skip of the seed kernel.
+func axpyPair(y []float64, a *Dense, i int, x0, x1 float64) {
+	switch {
+	case x0 == 0 && x1 == 0:
+	case x0 == 0:
+		axpy(y, x1, a.Row(i+1))
+	case x1 == 0:
+		axpy(y, x0, a.Row(i))
+	default:
+		axpy2(y, x0, a.Row(i), x1, a.Row(i+1))
 	}
 }
 
@@ -363,11 +495,7 @@ func MulAddTo(c, a, b *Dense) {
 		arow := a.Row(i)
 		crow := c.Row(i)
 		for j := 0; j < n; j++ {
-			s := 0.0
-			for k, v := range arow {
-				s += v * b.Data[k*n+j]
-			}
-			crow[j] += s
+			crow[j] += dotStride(arow, b.Data, j, n)
 		}
 	}
 }
@@ -388,10 +516,7 @@ func MulTAddTo(c, a, b *Dense) {
 			if v == 0 {
 				continue
 			}
-			crow := c.Data[j*n : j*n+n]
-			for k := 0; k < n; k++ {
-				crow[k] += v * brow[k]
-			}
+			axpy(c.Data[j*n:j*n+n], v, brow)
 		}
 	}
 }
@@ -409,11 +534,7 @@ func MulRangeAddTo(c, a *Dense, r0, r1 int, b *Dense) {
 		arow := a.Row(i)
 		crow := c.Row(i - r0)
 		for j := 0; j < n; j++ {
-			s := 0.0
-			for k, v := range arow {
-				s += v * b.Data[k*n+j]
-			}
-			crow[j] += s
+			crow[j] += dotStride(arow, b.Data, j, n)
 		}
 	}
 }
@@ -434,10 +555,7 @@ func MulTRangeAddTo(c, a *Dense, r0, r1 int, b *Dense) {
 			if v == 0 {
 				continue
 			}
-			crow := c.Data[j*n : j*n+n]
-			for k := 0; k < n; k++ {
-				crow[k] += v * brow[k]
-			}
+			axpy(c.Data[j*n:j*n+n], v, brow)
 		}
 	}
 }

@@ -282,6 +282,7 @@ func (s *Batcher) answer(r *request, res result) {
 func (s *Batcher) flushWorker() {
 	defer s.workers.Done()
 	ws := s.m.NewWorkspace()
+	defer ws.Close()
 	B := mat.NewDense(0, 0)
 	Y := mat.NewDense(0, 0)
 	live := make([]*request, 0, s.cfg.MaxBatch)
