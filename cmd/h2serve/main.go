@@ -27,6 +27,7 @@
 // Usage:
 //
 //	h2serve -n 20000 -kernel coulomb -mem otf -addr :8080
+//	h2serve -n 20000 -mem hybrid -storage 64    # cap stored blocks at 64 MiB
 //	h2serve -load matrix.h2
 //	curl -s localhost:8080/apply -d '{"b": [0.1, 0.2, ...]}'
 //	curl -s localhost:8080/matrices -d '{"name":"g","spec":{"kernel":"gaussian","n":5000}}'
@@ -67,7 +68,8 @@ func run() error {
 	kern := flag.String("kernel", "coulomb", "kernel: "+strings.Join(kernel.Names(), ", ")+"; with -load, checked against the stream")
 	tol := flag.Float64("tol", 1e-6, "target relative accuracy")
 	basis := flag.String("basis", "dd", "construction: dd (data-driven) or interp")
-	mem := flag.String("mem", "otf", "memory mode: normal or otf")
+	mem := flag.String("mem", "otf", "memory mode: normal, otf, or hybrid")
+	storageMB := flag.Int64("storage", 0, "hybrid stored-block budget in MiB (-mem hybrid): the best assembly-cost-per-byte blocks are stored, the rest evaluated on the fly")
 	leaf := flag.Int("leaf", 0, "leaf size (0 = default)")
 	threads := flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
 	samplerName := flag.String("sampler", "anchornet", "sampler: anchornet, fps, random")
@@ -91,7 +93,7 @@ func run() error {
 	spec := registry.BuildSpec{
 		Kernel: *kern, Dist: *dist, N: *n, Dim: *dim, Tol: *tol,
 		Basis: *basis, Mem: *mem, Leaf: *leaf, Sampler: *samplerName,
-		Seed: *seed, Workers: *threads,
+		Seed: *seed, Workers: *threads, StorageBudget: *storageMB << 20,
 	}
 	if *load != "" {
 		// The stream records its kernel; -kernel is only an override check,

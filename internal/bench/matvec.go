@@ -75,15 +75,9 @@ func MatvecJSON(opt Options) error {
 	for _, c := range matvecCases(opt.Scale) {
 		n, leaf := c[0], c[1]
 		pts := pointset.Cube(n, 3, opt.seed())
-		for _, mode := range []core.MemoryMode{core.Normal, core.OnTheFly} {
-			cfg := core.Config{Kind: core.DataDriven, Mode: mode, Tol: 1e-6,
-				LeafSize: leaf, Workers: opt.Threads, Sampler: opt.sampler()}
-			m, err := core.Build(pts, k, cfg)
-			if err != nil {
-				return err
-			}
+		b := randVec(n, opt.seed()+7)
+		measure := func(m *core.Matrix, label string) {
 			ws := m.NewWorkspace()
-			b := randVec(n, opt.seed()+7)
 			y := make([]float64, n)
 			m.ApplyToWith(ws, y, b) // warm-up: grows scratch, pages generators
 
@@ -103,7 +97,7 @@ func MatvecJSON(opt Options) error {
 			allocs := testing.AllocsPerRun(5, func() { m.ApplyToWith(ws, y, b) })
 			mem := m.Memory()
 			run := MatvecRun{
-				N: n, Leaf: leaf, Depth: m.Tree.Depth(), Mode: mode.String(),
+				N: n, Leaf: leaf, Depth: m.Tree.Depth(), Mode: label,
 				MedianApplyNS: median, AllocsPerOp: allocs,
 				BlockStoreBytes: mem.Coupling + mem.Nearfield,
 				MemKiB:          mem.KiB(),
@@ -116,6 +110,30 @@ func MatvecJSON(opt Options) error {
 				fmt.Sprintf("%.1f", float64(run.BlockStoreBytes)/1024),
 				fmt.Sprintf("%.2e", run.RelErr))
 		}
+
+		cfg := core.Config{Kind: core.DataDriven, Mode: core.Normal, Tol: 1e-6,
+			LeafSize: leaf, Workers: opt.Threads, Sampler: opt.sampler()}
+		norm, err := core.Build(pts, k, cfg)
+		if err != nil {
+			return err
+		}
+		measure(norm, core.Normal.String())
+		// The hybrid budget sweep derives views from the Normal build (shared
+		// generators, only the selected blocks re-stored), so the fraction axis
+		// costs a fraction of a rebuild per point. The fraction scales the
+		// Normal build's actual stored-block footprint.
+		full := norm.Memory().Coupling + norm.Memory().Nearfield
+		for _, fracPct := range []int64{25, 50, 75} {
+			h := norm.WithStorageBudget(full * fracPct / 100)
+			measure(h, fmt.Sprintf("hybrid-%d", fracPct))
+		}
+
+		cfg.Mode = core.OnTheFly
+		otf, err := core.Build(pts, k, cfg)
+		if err != nil {
+			return err
+		}
+		measure(otf, core.OnTheFly.String())
 	}
 	tb.flush()
 

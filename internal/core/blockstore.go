@@ -247,6 +247,75 @@ func (s *BlockStore) ApplyBatch(g *mat.Dense, i, j int, q *mat.Dense) bool {
 	return true
 }
 
+// applyOTFOrder accumulates g += B_{i,j} q using the summation order of the
+// on-the-fly path, which always evaluates the (i, j) orientation and applies
+// it forward with dot-grouped row products. For a stored (i, j) block that is
+// plain MulVecAdd; for a triangular-transpose hit the stored (j, i) block is
+// B_{i,j}ᵀ element-for-element (symmetric kernel), so MulTVecAddDot — a
+// column walk with the same dot grouping — reproduces the on-the-fly result
+// bitwise. It reports whether a block was found.
+func (s *BlockStore) applyOTFOrder(g []float64, i, j int, q []float64) bool {
+	if s.directed || i <= j {
+		b := s.Get(i, j)
+		if b == nil {
+			return false
+		}
+		mat.MulVecAdd(g, b, q)
+		return true
+	}
+	b := s.Get(j, i)
+	if b == nil {
+		return false
+	}
+	mat.MulTVecAddDot(g, b, q)
+	return true
+}
+
+// applyTransposeOTFOrder accumulates g += B_{j,i}ᵀ q in the on-the-fly
+// transpose order, which evaluates the (j, i) orientation and applies it with
+// MulTVecAdd's sequential, zero-skipping accumulation. A stored (j, i) block
+// gets exactly that; a triangular hit on (i, j) (= B_{j,i}ᵀ for symmetric
+// kernels) is applied forward with the matching sequential order
+// (MulVecAddSeq). It reports whether a block was found.
+func (s *BlockStore) applyTransposeOTFOrder(g []float64, i, j int, q []float64) bool {
+	if s.directed || j <= i {
+		b := s.Get(j, i)
+		if b == nil {
+			return false
+		}
+		mat.MulTVecAdd(g, b, q)
+		return true
+	}
+	b := s.Get(i, j)
+	if b == nil {
+		return false
+	}
+	mat.MulVecAddSeq(g, b, q)
+	return true
+}
+
+// applyBatchOTFOrder is the multi-RHS analogue of applyOTFOrder: the
+// on-the-fly batch path evaluates the (i, j) orientation and runs MulAddTo
+// (per-element dot-grouped column strides), so triangular-transpose hits use
+// MulTAddToDot to preserve that order over the stored (j, i) payload. It
+// reports whether a block was found.
+func (s *BlockStore) applyBatchOTFOrder(g *mat.Dense, i, j int, q *mat.Dense) bool {
+	if s.directed || i <= j {
+		b := s.Get(i, j)
+		if b == nil {
+			return false
+		}
+		mat.MulAddTo(g, b, q)
+		return true
+	}
+	b := s.Get(j, i)
+	if b == nil {
+		return false
+	}
+	mat.MulTAddToDot(g, b, q)
+	return true
+}
+
 // Len returns the number of stored blocks.
 func (s *BlockStore) Len() int {
 	if s.frozen.Load() {

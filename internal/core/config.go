@@ -56,6 +56,11 @@ const (
 	// OnTheFly stores only index sets; blocks are assembled into
 	// per-worker scratch during each matvec and discarded (§II-B).
 	OnTheFly
+	// Hybrid stores the most application-cost-per-byte-effective blocks up
+	// to Config.StorageBudget bytes at construction time and evaluates the
+	// rest on the fly — a continuum between Normal and OnTheFly that a
+	// serving layer's memory budget can tune.
+	Hybrid
 )
 
 // String implements fmt.Stringer.
@@ -65,6 +70,8 @@ func (m MemoryMode) String() string {
 		return "normal"
 	case OnTheFly:
 		return "on-the-fly"
+	case Hybrid:
+		return "hybrid"
 	default:
 		return fmt.Sprintf("MemoryMode(%d)", int(m))
 	}
@@ -87,6 +94,13 @@ type Config struct {
 
 	// P is the interpolation points per direction; 0 derives it from Tol.
 	P int
+
+	// StorageBudget caps the bytes spent on stored coupling/nearfield
+	// blocks in Hybrid mode (ignored otherwise). Blocks are selected
+	// greedily by assembly-savings-per-byte, top tree levels first; the
+	// remainder is evaluated on the fly. 0 stores nothing (pure on-the-fly
+	// evaluation with hybrid bookkeeping).
+	StorageBudget int64
 
 	// LeafSize caps points per leaf (0 = tree.DefaultLeafSize).
 	LeafSize int

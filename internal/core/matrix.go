@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -67,6 +68,11 @@ type Matrix struct {
 	// buildPool is the transient persistent worker pool active during Build
 	// and deserialization (nil otherwise); parFor runs on it.
 	buildPool *par.Pool
+
+	// seedOTF forces the on-the-fly sweeps down the seed
+	// assemble-then-multiply path instead of the fused primitives. It
+	// exists only for the bitwise-equivalence tests.
+	seedOTF bool
 
 	stats  BuildStats
 	sweeps sweepTimers
@@ -146,9 +152,14 @@ func Build(pts *pointset.Points, k kernel.Pairwise, cfg Config) (*Matrix, error)
 		return nil, fmt.Errorf("core: unknown basis kind %v", cfg.Kind)
 	}
 
-	if cfg.Mode == Normal {
+	switch cfg.Mode {
+	case Normal:
 		t2 := time.Now()
 		m.storeBlocks()
+		m.stats.CouplingTime = time.Since(t2)
+	case Hybrid:
+		t2 := time.Now()
+		m.storeBlocksHybrid(cfg.StorageBudget)
 		m.stats.CouplingTime = time.Since(t2)
 	}
 
@@ -280,6 +291,158 @@ func (m *Matrix) storeBlocks() {
 	// the matvec hot path.
 	m.coup.Freeze()
 	m.near.Freeze()
+}
+
+// blockCand describes one storable coupling or nearfield block for the
+// hybrid selection pass.
+type blockCand struct {
+	near  bool // nearfield (leaf dense) block vs coupling block
+	i, j  int  // store key (i <= j for symmetric kernels)
+	level int  // tree level of node i (selection tie-break: top levels first)
+	elems int64
+	uses  int8 // block applications per matvec this storage saves
+}
+
+// storedBlockBytes is the frozen-store footprint of one block: payload plus
+// header plus CSR index entry (mirrors BlockStore.Bytes accounting).
+func storedBlockBytes(elems int64) int64 { return elems*8 + 48 }
+
+// blockCandidates enumerates every block the normal mode would store,
+// annotated for the hybrid cost model. A symmetric off-diagonal block is
+// applied twice per matvec (once forward, once transposed), so storing it
+// saves two on-the-fly evaluations; diagonal and directed blocks save one.
+func (m *Matrix) blockCandidates() []blockCand {
+	sym := m.Kern.Symmetric()
+	var cands []blockCand
+	for i := range m.Tree.Nodes {
+		ri := int64(m.ranks[i])
+		if ri == 0 {
+			continue
+		}
+		for _, j := range m.Tree.Nodes[i].Interaction {
+			if sym && i >= j {
+				continue
+			}
+			rj := int64(m.colRank(j))
+			if rj == 0 {
+				continue
+			}
+			uses := int8(1)
+			if sym {
+				uses = 2
+			}
+			cands = append(cands, blockCand{
+				near: false, i: i, j: j, level: m.Tree.Nodes[i].Level,
+				elems: ri * rj, uses: uses,
+			})
+		}
+	}
+	for _, i := range m.Tree.Leaves {
+		si := int64(m.Tree.Nodes[i].Size())
+		for _, j := range m.Tree.Nodes[i].Near {
+			if sym && i > j {
+				continue
+			}
+			uses := int8(1)
+			if sym && i != j {
+				uses = 2
+			}
+			cands = append(cands, blockCand{
+				near: true, i: i, j: j, level: m.Tree.Nodes[i].Level,
+				elems: si * int64(m.Tree.Nodes[j].Size()), uses: uses,
+			})
+		}
+	}
+	return cands
+}
+
+// storeBlocksHybrid assembles and stores the best-value blocks under a byte
+// budget and leaves the rest for fused on-the-fly evaluation. Value is
+// assembly savings per byte: kernel-evaluation cost is proportional to the
+// element count (= bytes), so savings/byte reduces to the per-matvec use
+// count, with top tree levels first as the tie-break (their blocks sit on
+// every interaction list and stay hot), then a deterministic kind/i/j order
+// so equal-budget builds always select identical sets. Selection is greedy
+// and keeps scanning past blocks that no longer fit.
+func (m *Matrix) storeBlocksHybrid(budget int64) {
+	sym := m.Kern.Symmetric()
+	if sym {
+		m.coup = NewBlockStore()
+		m.near = NewBlockStore()
+	} else {
+		m.coup = NewDirectedBlockStore()
+		m.near = NewDirectedBlockStore()
+	}
+
+	cands := m.blockCandidates()
+	sort.Slice(cands, func(a, b int) bool {
+		ca, cb := &cands[a], &cands[b]
+		if ca.uses != cb.uses {
+			return ca.uses > cb.uses
+		}
+		if ca.level != cb.level {
+			return ca.level < cb.level
+		}
+		if ca.near != cb.near {
+			return !ca.near
+		}
+		if ca.i != cb.i {
+			return ca.i < cb.i
+		}
+		return ca.j < cb.j
+	})
+	var used int64
+	selected := cands[:0]
+	for _, c := range cands {
+		cost := storedBlockBytes(c.elems)
+		if used+cost > budget {
+			continue
+		}
+		selected = append(selected, c)
+		used += cost
+	}
+
+	m.parFor(len(selected), func(k int) {
+		c := selected[k]
+		if c.near {
+			ni, nj := &m.Tree.Nodes[c.i], &m.Tree.Nodes[c.j]
+			b := kernel.NewBlock(m.Kern, m.Tree.Points, m.allIdx[ni.Start:ni.End], m.Tree.Points, m.allIdx[nj.Start:nj.End])
+			m.near.Put(c.i, c.j, b)
+			return
+		}
+		b := kernel.NewBlock(m.Kern, m.skelPts[c.i], m.skel[c.i], m.skelPts[c.j], m.colSkeleton(c.j))
+		m.coup.Put(c.i, c.j, b)
+	})
+	m.coup.Freeze()
+	m.near.Freeze()
+}
+
+// WithStorageBudget derives a Hybrid-mode view of m under the given block
+// storage budget: it shares every immutable generator (tree, bases,
+// transfers, skeletons) with m and builds only its own block stores, so a
+// registry can downgrade a resident Normal-mode instance to a fraction of
+// its footprint without re-running construction. The result is an
+// independent Matrix with fresh sweep counters and its own workspace pool;
+// m is not modified and both remain safe for concurrent use.
+func (m *Matrix) WithStorageBudget(budget int64) *Matrix {
+	c := &Matrix{
+		Cfg: m.Cfg, Kern: m.Kern, Tree: m.Tree, N: m.N, Dim: m.Dim,
+		u: m.u, trans: m.trans, ranks: m.ranks,
+		v: m.v, wTrans: m.wTrans, colRanks: m.colRanks, colSkel: m.colSkel,
+		sharedBasis: m.sharedBasis,
+		skel:        m.skel, skelPts: m.skelPts,
+		hier: m.hier, allIdx: m.allIdx,
+		stats: m.stats,
+	}
+	c.Cfg.Mode = Hybrid
+	c.Cfg.StorageBudget = budget
+	c.buildPool = par.NewPool(c.Cfg.Workers)
+	t0 := time.Now()
+	c.storeBlocksHybrid(budget)
+	c.stats.CouplingTime = time.Since(t0)
+	c.buildPool.Close()
+	c.buildPool = nil
+	return c
 }
 
 // leafRange returns the permuted index slice owned by node id.

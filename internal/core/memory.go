@@ -83,10 +83,17 @@ func (m *Matrix) Memory() MemoryStats {
 	}
 	s.Tree = m.Tree.Bytes()
 	s.Workspace = m.workspaceBytes()
-	if m.Cfg.Mode == Normal {
+	switch m.Cfg.Mode {
+	case Normal:
 		s.Coupling = m.coup.Bytes()
 		s.Nearfield = m.near.Bytes()
-	} else {
+	case Hybrid:
+		// Hybrid pays for both the stored subset and the on-the-fly
+		// scratch bound for the blocks it left unstored.
+		s.Coupling = m.coup.Bytes()
+		s.Nearfield = m.near.Bytes()
+		s.ScratchPerWorker = m.maxTileBytes()
+	default:
 		s.ScratchPerWorker = m.maxTileBytes()
 	}
 	return s

@@ -25,10 +25,12 @@ import (
 // submatrices.
 
 // serialMagic identifies the file format; serialVersion is bumped on any
-// incompatible change.
+// incompatible change. Version 2 added Config.StorageBudget (hybrid mode);
+// version-1 streams are still readable and imply a zero budget.
 const (
-	serialMagic   = "H2DS"
-	serialVersion = uint32(1)
+	serialMagic      = "H2DS"
+	serialVersion    = uint32(2)
+	serialVersionMin = uint32(1)
 )
 
 type serialWriter struct {
@@ -185,6 +187,7 @@ func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
 	s.write(m.Cfg.Eta)
 	s.writeI64(m.Cfg.SampleBudget)
 	s.writeI64(m.Cfg.P)
+	s.write(m.Cfg.StorageBudget)
 	s.write(m.sharedBasis)
 	s.writeI64(m.N)
 	s.writeI64(m.Dim)
@@ -242,18 +245,18 @@ func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
 }
 
 // readHeader consumes the magic, version, and recorded kernel name and
-// returns the kernel name.
-func readHeader(s *serialReader) (string, error) {
+// returns the kernel name and stream version.
+func readHeader(s *serialReader) (string, uint32, error) {
 	if magic := s.readString(); s.err == nil && magic != serialMagic {
-		return "", fmt.Errorf("core: not an h2ds stream (magic %q)", magic)
+		return "", 0, fmt.Errorf("core: not an h2ds stream (magic %q)", magic)
 	}
 	var version uint32
 	s.read(&version)
-	if s.err == nil && version != serialVersion {
-		return "", fmt.Errorf("core: unsupported stream version %d (want %d)", version, serialVersion)
+	if s.err == nil && (version < serialVersionMin || version > serialVersion) {
+		return "", 0, fmt.Errorf("core: unsupported stream version %d (want %d..%d)", version, serialVersionMin, serialVersion)
 	}
 	kname := s.readString()
-	return kname, s.err
+	return kname, version, s.err
 }
 
 // Read deserializes a matrix written by WriteTo. The kernel function is not
@@ -263,14 +266,14 @@ func readHeader(s *serialReader) (string, error) {
 // submatrices, so this is exact).
 func Read(r io.Reader, k kernel.Pairwise) (*Matrix, error) {
 	s := &serialReader{r: bufio.NewReader(r)}
-	kname, err := readHeader(s)
+	kname, version, err := readHeader(s)
 	if err != nil {
 		return nil, err
 	}
 	if kname != k.Name() {
 		return nil, fmt.Errorf("core: stream was built with kernel %q, got %q", kname, k.Name())
 	}
-	return readBody(s, k)
+	return readBody(s, k, version)
 }
 
 // ReadAny deserializes a matrix written by WriteTo, resolving the kernel
@@ -280,7 +283,7 @@ func Read(r io.Reader, k kernel.Pairwise) (*Matrix, error) {
 // kernel for those.
 func ReadAny(r io.Reader) (*Matrix, error) {
 	s := &serialReader{r: bufio.NewReader(r)}
-	kname, err := readHeader(s)
+	kname, version, err := readHeader(s)
 	if err != nil {
 		return nil, err
 	}
@@ -288,11 +291,11 @@ func ReadAny(r io.Reader) (*Matrix, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: cannot resolve stream kernel: %w", err)
 	}
-	return readBody(s, k)
+	return readBody(s, k, version)
 }
 
 // readBody deserializes everything after the header under the given kernel.
-func readBody(s *serialReader, k kernel.Pairwise) (*Matrix, error) {
+func readBody(s *serialReader, k kernel.Pairwise, version uint32) (*Matrix, error) {
 	m := &Matrix{Kern: k}
 	var kind, mode uint8
 	s.read(&kind)
@@ -304,6 +307,9 @@ func readBody(s *serialReader, k kernel.Pairwise) (*Matrix, error) {
 	s.read(&m.Cfg.Eta)
 	m.Cfg.SampleBudget = s.readI64()
 	m.Cfg.P = s.readI64()
+	if version >= 2 {
+		s.read(&m.Cfg.StorageBudget)
+	}
 	s.read(&m.sharedBasis)
 	m.N = s.readI64()
 	m.Dim = s.readI64()
@@ -421,11 +427,16 @@ func readBody(s *serialReader, k kernel.Pairwise) (*Matrix, error) {
 	if err := m.validateLoaded(); err != nil {
 		return nil, err
 	}
-	if m.Cfg.Mode == Normal {
+	if m.Cfg.Mode == Normal || m.Cfg.Mode == Hybrid {
 		// Reassemble the stored blocks on a transient build pool, exactly as
-		// Build does.
+		// Build does. Hybrid selection is deterministic, so a round-trip
+		// stores the identical block subset.
 		m.buildPool = par.NewPool(m.Cfg.Workers)
-		m.storeBlocks()
+		if m.Cfg.Mode == Normal {
+			m.storeBlocks()
+		} else {
+			m.storeBlocksHybrid(m.Cfg.StorageBudget)
+		}
 		m.buildPool.Close()
 		m.buildPool = nil
 	}

@@ -24,6 +24,15 @@ type sweepTimers struct {
 	coupling atomic.Int64
 	down     atomic.Int64
 	leaf     atomic.Int64
+
+	// On-the-fly instrumentation: cumulative nanoseconds spent in fused
+	// block evaluation (the former assemble-then-multiply cost), and hybrid
+	// store hit/miss counts. Workers accumulate into padded per-worker
+	// counters during a sweep and flush here once per apply, so the hot
+	// path performs no atomic operations per block.
+	otfAssembly  atomic.Int64
+	hybridHits   atomic.Int64
+	hybridMisses atomic.Int64
 }
 
 // record credits one apply given the five stage boundary timestamps.
@@ -45,16 +54,28 @@ type SweepStats struct {
 	CouplingNS int64 `json:"coupling_ns"`
 	DownNS     int64 `json:"down_ns"`
 	LeafNS     int64 `json:"leaf_ns"`
+
+	// OtfAssemblyNS is the cumulative time spent evaluating coupling and
+	// nearfield blocks on the fly (fused kernel evaluation); zero in
+	// Normal mode. HybridHits/HybridMisses count block applications served
+	// from the hybrid store versus evaluated on the fly; zero outside
+	// Hybrid mode.
+	OtfAssemblyNS int64 `json:"otf_assembly_ns"`
+	HybridHits    int64 `json:"hybrid_hits"`
+	HybridMisses  int64 `json:"hybrid_misses"`
 }
 
 // SweepStats returns the cumulative stage timings recorded since the matrix
 // was built. Safe for concurrent use.
 func (m *Matrix) SweepStats() SweepStats {
 	return SweepStats{
-		Applies:    m.sweeps.applies.Load(),
-		UpNS:       m.sweeps.up.Load(),
-		CouplingNS: m.sweeps.coupling.Load(),
-		DownNS:     m.sweeps.down.Load(),
-		LeafNS:     m.sweeps.leaf.Load(),
+		Applies:       m.sweeps.applies.Load(),
+		UpNS:          m.sweeps.up.Load(),
+		CouplingNS:    m.sweeps.coupling.Load(),
+		DownNS:        m.sweeps.down.Load(),
+		LeafNS:        m.sweeps.leaf.Load(),
+		OtfAssemblyNS: m.sweeps.otfAssembly.Load(),
+		HybridHits:    m.sweeps.hybridHits.Load(),
+		HybridMisses:  m.sweeps.hybridMisses.Load(),
 	}
 }

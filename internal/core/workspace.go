@@ -51,8 +51,17 @@ type Workspace struct {
 	rowSlab, colSlab []float64
 
 	// Per-worker tile buffers for on-the-fly assembly (grown on demand when
-	// the configured worker count rises).
+	// the configured worker count rises). The fused on-the-fly path only
+	// uses them as one-row panels in the batch sweeps; the seed path (and
+	// seedOTF test mode) reshapes them to full tiles.
 	scratch []*mat.Dense
+
+	// ctr holds per-worker on-the-fly instrumentation, padded to ctrStride
+	// int64s per worker to keep workers off each other's cache lines:
+	// [w*ctrStride+ctrOtfNS] fused-evaluation nanoseconds,
+	// [.. +ctrHit] hybrid store hits, [.. +ctrMiss] hybrid misses. Flushed
+	// into the matrix's atomics once per apply.
+	ctr []int64
 
 	// ---- per-call state consumed by the prebuilt sweep closures ----
 	curB, curY []float64 // permuted input/output vectors
@@ -114,10 +123,45 @@ func (m *Matrix) NewWorkspace() *Workspace {
 	return ws
 }
 
-// growScratch ensures at least n per-worker tile buffers exist.
+// Per-worker counter layout within Workspace.ctr.
+const (
+	ctrOtfNS  = 0
+	ctrHit    = 1
+	ctrMiss   = 2
+	ctrStride = 8 // one 64-byte cache line per worker
+)
+
+// growScratch ensures at least n per-worker tile buffers and counter lines
+// exist.
 func (ws *Workspace) growScratch(n int) {
 	for len(ws.scratch) < n {
 		ws.scratch = append(ws.scratch, mat.NewDense(0, 0))
+	}
+	if len(ws.ctr) < n*ctrStride {
+		ws.ctr = append(ws.ctr, make([]int64, n*ctrStride-len(ws.ctr))...)
+	}
+}
+
+// flushCounters folds the per-worker on-the-fly counters into the matrix's
+// cumulative sweep stats and zeroes them for the next apply.
+func (ws *Workspace) flushCounters() {
+	var ns, hit, miss int64
+	for base := 0; base < len(ws.ctr); base += ctrStride {
+		ns += ws.ctr[base+ctrOtfNS]
+		hit += ws.ctr[base+ctrHit]
+		miss += ws.ctr[base+ctrMiss]
+		ws.ctr[base+ctrOtfNS] = 0
+		ws.ctr[base+ctrHit] = 0
+		ws.ctr[base+ctrMiss] = 0
+	}
+	if ns != 0 {
+		ws.m.sweeps.otfAssembly.Add(ns)
+	}
+	if hit != 0 {
+		ws.m.sweeps.hybridHits.Add(hit)
+	}
+	if miss != 0 {
+		ws.m.sweeps.hybridMisses.Add(miss)
 	}
 }
 
@@ -244,6 +288,7 @@ func (m *Matrix) applyPermutedWith(ws *Workspace, yp, bp []float64) {
 	t3 := nowNS()
 	ws.forWorker(len(m.Tree.Leaves), ws.leafFn)
 	m.sweeps.record(t0, t1, t2, t3, nowNS())
+	ws.flushCounters()
 	ws.curB, ws.curY = nil, nil
 }
 
@@ -271,6 +316,7 @@ func (m *Matrix) applyTransposePermutedWith(ws *Workspace, yp, bp []float64) {
 	t3 := nowNS()
 	ws.forWorker(len(m.Tree.Leaves), ws.leafTFn)
 	m.sweeps.record(t0, t1, t2, t3, nowNS())
+	ws.flushCounters()
 	ws.curB, ws.curY = nil, nil
 }
 
@@ -325,12 +371,25 @@ func (ws *Workspace) coupNode(w, id int) {
 			continue
 		}
 		qj := seg(ws.q, ws.qOff, j)
-		if m.Cfg.Mode == Normal {
+		switch m.Cfg.Mode {
+		case Normal:
 			m.coup.Apply(gi, id, j, qj)
 			continue
+		case Hybrid:
+			if m.coup.applyOTFOrder(gi, id, j, qj) {
+				ws.ctr[w*ctrStride+ctrHit]++
+				continue
+			}
+			ws.ctr[w*ctrStride+ctrMiss]++
 		}
-		tile := kernel.Assemble(ws.scratch[w], m.Kern, m.skelPts[id], m.skel[id], m.skelPts[j], m.colSkeleton(j))
-		mat.MulVecAdd(gi, tile, qj)
+		t := nowNS()
+		if m.seedOTF {
+			tile := kernel.Assemble(ws.scratch[w], m.Kern, m.skelPts[id], m.skel[id], m.skelPts[j], m.colSkeleton(j))
+			mat.MulVecAdd(gi, tile, qj)
+		} else {
+			kernel.BlockVecAdd(gi, m.Kern, m.skelPts[id], m.skel[id], m.skelPts[j], m.colSkeleton(j), qj)
+		}
+		ws.ctr[w*ctrStride+ctrOtfNS] += nowNS() - t
 	}
 }
 
@@ -368,12 +427,25 @@ func (ws *Workspace) leafNode(w, k int) {
 	for _, j := range nd.Near {
 		nj := &m.Tree.Nodes[j]
 		bj := ws.curB[nj.Start:nj.End]
-		if m.Cfg.Mode == Normal {
+		switch m.Cfg.Mode {
+		case Normal:
 			m.near.Apply(yi, id, j, bj)
 			continue
+		case Hybrid:
+			if m.near.applyOTFOrder(yi, id, j, bj) {
+				ws.ctr[w*ctrStride+ctrHit]++
+				continue
+			}
+			ws.ctr[w*ctrStride+ctrMiss]++
 		}
-		tile := kernel.Assemble(ws.scratch[w], m.Kern, m.Tree.Points, m.leafRange(id), m.Tree.Points, m.leafRange(j))
-		mat.MulVecAdd(yi, tile, bj)
+		t := nowNS()
+		if m.seedOTF {
+			tile := kernel.Assemble(ws.scratch[w], m.Kern, m.Tree.Points, m.leafRange(id), m.Tree.Points, m.leafRange(j))
+			mat.MulVecAdd(yi, tile, bj)
+		} else {
+			kernel.BlockVecAdd(yi, m.Kern, m.Tree.Points, m.leafRange(id), m.Tree.Points, m.leafRange(j), bj)
+		}
+		ws.ctr[w*ctrStride+ctrOtfNS] += nowNS() - t
 	}
 }
 
@@ -416,7 +488,8 @@ func (ws *Workspace) coupNodeT(w, id int) {
 			continue
 		}
 		qj := seg(ws.q, ws.qOff, j)
-		if m.Cfg.Mode == Normal {
+		switch m.Cfg.Mode {
+		case Normal:
 			// g_i += B_{j,i}ᵀ q_j. In triangular (symmetric) storage,
 			// Apply(g, i, j, q) already computes B_{i,j} q = B_{j,i}ᵀ q.
 			// In directed storage we must transpose the stored (j, i)
@@ -429,9 +502,21 @@ func (ws *Workspace) coupNodeT(w, id int) {
 				m.coup.Apply(gi, id, j, qj)
 			}
 			continue
+		case Hybrid:
+			if m.coup.applyTransposeOTFOrder(gi, id, j, qj) {
+				ws.ctr[w*ctrStride+ctrHit]++
+				continue
+			}
+			ws.ctr[w*ctrStride+ctrMiss]++
 		}
-		tile := kernel.Assemble(ws.scratch[w], m.Kern, m.skelPts[j], m.skel[j], m.skelPts[id], m.colSkeleton(id))
-		mat.MulTVecAdd(gi, tile, qj)
+		t := nowNS()
+		if m.seedOTF {
+			tile := kernel.Assemble(ws.scratch[w], m.Kern, m.skelPts[j], m.skel[j], m.skelPts[id], m.colSkeleton(id))
+			mat.MulTVecAdd(gi, tile, qj)
+		} else {
+			kernel.BlockTVecAdd(gi, m.Kern, m.skelPts[j], m.skel[j], m.skelPts[id], m.colSkeleton(id), qj)
+		}
+		ws.ctr[w*ctrStride+ctrOtfNS] += nowNS() - t
 	}
 }
 
@@ -467,7 +552,8 @@ func (ws *Workspace) leafNodeT(w, k int) {
 	for _, j := range nd.Near {
 		nj := &m.Tree.Nodes[j]
 		bj := ws.curB[nj.Start:nj.End]
-		if m.Cfg.Mode == Normal {
+		switch m.Cfg.Mode {
+		case Normal:
 			if m.near.directed {
 				if blk := m.near.Get(j, id); blk != nil {
 					mat.MulTVecAdd(yi, blk, bj)
@@ -476,9 +562,21 @@ func (ws *Workspace) leafNodeT(w, k int) {
 				m.near.Apply(yi, id, j, bj)
 			}
 			continue
+		case Hybrid:
+			if m.near.applyTransposeOTFOrder(yi, id, j, bj) {
+				ws.ctr[w*ctrStride+ctrHit]++
+				continue
+			}
+			ws.ctr[w*ctrStride+ctrMiss]++
 		}
-		tile := kernel.Assemble(ws.scratch[w], m.Kern, m.Tree.Points, m.leafRange(j), m.Tree.Points, m.leafRange(id))
-		mat.MulTVecAdd(yi, tile, bj)
+		t := nowNS()
+		if m.seedOTF {
+			tile := kernel.Assemble(ws.scratch[w], m.Kern, m.Tree.Points, m.leafRange(j), m.Tree.Points, m.leafRange(id))
+			mat.MulTVecAdd(yi, tile, bj)
+		} else {
+			kernel.BlockTVecAdd(yi, m.Kern, m.Tree.Points, m.leafRange(j), m.Tree.Points, m.leafRange(id), bj)
+		}
+		ws.ctr[w*ctrStride+ctrOtfNS] += nowNS() - t
 	}
 }
 
@@ -565,6 +663,7 @@ func (m *Matrix) ApplyBatchToWith(ws *Workspace, Y, B *mat.Dense) {
 	t3 := nowNS()
 	ws.forWorker(len(m.Tree.Leaves), ws.bLeafFn)
 	m.sweeps.record(t0, t1, t2, t3, nowNS())
+	ws.flushCounters()
 
 	// Un-permute rows into the caller's output.
 	Y.Reshape(m.N, k)
@@ -611,12 +710,25 @@ func (ws *Workspace) coupNodeB(w, id int) {
 		if m.colRank(j) == 0 {
 			continue
 		}
-		if m.Cfg.Mode == Normal {
+		switch m.Cfg.Mode {
+		case Normal:
 			m.coup.ApplyBatch(gi, id, j, ws.qB[j])
 			continue
+		case Hybrid:
+			if m.coup.applyBatchOTFOrder(gi, id, j, ws.qB[j]) {
+				ws.ctr[w*ctrStride+ctrHit]++
+				continue
+			}
+			ws.ctr[w*ctrStride+ctrMiss]++
 		}
-		tile := kernel.Assemble(ws.scratch[w], m.Kern, m.skelPts[id], m.skel[id], m.skelPts[j], m.colSkeleton(j))
-		mat.MulAddTo(gi, tile, ws.qB[j])
+		t := nowNS()
+		if m.seedOTF {
+			tile := kernel.Assemble(ws.scratch[w], m.Kern, m.skelPts[id], m.skel[id], m.skelPts[j], m.colSkeleton(j))
+			mat.MulAddTo(gi, tile, ws.qB[j])
+		} else {
+			kernel.BlockMulAdd(gi, m.Kern, m.skelPts[id], m.skel[id], m.skelPts[j], m.colSkeleton(j), ws.qB[j], ws.scratch[w])
+		}
+		ws.ctr[w*ctrStride+ctrOtfNS] += nowNS() - t
 	}
 }
 
@@ -652,11 +764,24 @@ func (ws *Workspace) leafNodeB(w, k int) {
 	for _, j := range nd.Near {
 		nj := &m.Tree.Nodes[j]
 		bj := rowsView(ws.viewIn[w], ws.bpB, nj.Start, nj.End)
-		if m.Cfg.Mode == Normal {
+		switch m.Cfg.Mode {
+		case Normal:
 			m.near.ApplyBatch(yi, id, j, bj)
 			continue
+		case Hybrid:
+			if m.near.applyBatchOTFOrder(yi, id, j, bj) {
+				ws.ctr[w*ctrStride+ctrHit]++
+				continue
+			}
+			ws.ctr[w*ctrStride+ctrMiss]++
 		}
-		tile := kernel.Assemble(ws.scratch[w], m.Kern, m.Tree.Points, m.leafRange(id), m.Tree.Points, m.leafRange(j))
-		mat.MulAddTo(yi, tile, bj)
+		t := nowNS()
+		if m.seedOTF {
+			tile := kernel.Assemble(ws.scratch[w], m.Kern, m.Tree.Points, m.leafRange(id), m.Tree.Points, m.leafRange(j))
+			mat.MulAddTo(yi, tile, bj)
+		} else {
+			kernel.BlockMulAdd(yi, m.Kern, m.Tree.Points, m.leafRange(id), m.Tree.Points, m.leafRange(j), bj, ws.scratch[w])
+		}
+		ws.ctr[w*ctrStride+ctrOtfNS] += nowNS() - t
 	}
 }

@@ -1,0 +1,127 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"h2ds/internal/mat"
+	"h2ds/internal/pointset"
+)
+
+// Benchmarks comparing the seed path (Assemble into scratch, then dense
+// GEMV) against the fused devirtualized primitives, per kernel. Run with:
+//
+//	go test ./internal/kernel -bench 'Fused|AssembleMul' -benchmem
+const benchTile = 96
+
+func benchSetup(dim int) (*pointset.Points, *pointset.Points, []int, []int, []float64, []float64) {
+	x := pointset.Cube(benchTile*2, dim, 31)
+	y := pointset.Cube(benchTile*2, dim, 32)
+	rows := make([]int, benchTile)
+	cols := make([]int, benchTile)
+	for i := range rows {
+		rows[i] = i * 2
+		cols[i] = i*2 + 1
+	}
+	v := make([]float64, benchTile)
+	out := make([]float64, benchTile)
+	for i := range v {
+		v[i] = float64(i%7) - 3
+	}
+	return x, y, rows, cols, v, out
+}
+
+func BenchmarkAssembleMulVec(b *testing.B) {
+	for _, k := range everyKernel() {
+		b.Run(fmt.Sprintf("%s/d3", k.Name()), func(b *testing.B) {
+			x, y, rows, cols, v, out := benchSetup(3)
+			scratch := mat.NewDense(benchTile, benchTile)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Assemble(scratch, k, x, rows, y, cols)
+				mat.MulVecAdd(out, scratch, v)
+			}
+		})
+	}
+}
+
+func BenchmarkFusedVec(b *testing.B) {
+	for _, k := range everyKernel() {
+		b.Run(fmt.Sprintf("%s/d3", k.Name()), func(b *testing.B) {
+			x, y, rows, cols, v, out := benchSetup(3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				BlockVecAdd(out, k, x, rows, y, cols, v)
+			}
+		})
+	}
+}
+
+func BenchmarkAssembleMulTVec(b *testing.B) {
+	for _, k := range everyKernel() {
+		b.Run(fmt.Sprintf("%s/d3", k.Name()), func(b *testing.B) {
+			x, y, rows, cols, v, out := benchSetup(3)
+			scratch := mat.NewDense(benchTile, benchTile)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Assemble(scratch, k, x, rows, y, cols)
+				mat.MulTVecAdd(out, scratch, v)
+			}
+		})
+	}
+}
+
+func BenchmarkFusedTVec(b *testing.B) {
+	for _, k := range everyKernel() {
+		b.Run(fmt.Sprintf("%s/d3", k.Name()), func(b *testing.B) {
+			x, y, rows, cols, v, out := benchSetup(3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				BlockTVecAdd(out, k, x, rows, y, cols, v)
+			}
+		})
+	}
+}
+
+func BenchmarkAssembleMulBatch(b *testing.B) {
+	for _, k := range everyKernel() {
+		b.Run(fmt.Sprintf("%s/d3/rhs8", k.Name()), func(b *testing.B) {
+			x, y, rows, cols, _, _ := benchSetup(3)
+			scratch := mat.NewDense(benchTile, benchTile)
+			rhs := mat.NewDense(benchTile, 8)
+			out := mat.NewDense(benchTile, 8)
+			for i := range rhs.Data {
+				rhs.Data[i] = float64(i%5) - 2
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Assemble(scratch, k, x, rows, y, cols)
+				mat.MulAddTo(out, scratch, rhs)
+			}
+		})
+	}
+}
+
+func BenchmarkFusedBatch(b *testing.B) {
+	for _, k := range everyKernel() {
+		b.Run(fmt.Sprintf("%s/d3/rhs8", k.Name()), func(b *testing.B) {
+			x, y, rows, cols, _, _ := benchSetup(3)
+			rhs := mat.NewDense(benchTile, 8)
+			out := mat.NewDense(benchTile, 8)
+			rowbuf := mat.NewDense(0, 0)
+			for i := range rhs.Data {
+				rhs.Data[i] = float64(i%5) - 2
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				BlockMulAdd(out, k, x, rows, y, cols, rhs, rowbuf)
+			}
+		})
+	}
+}

@@ -1,0 +1,239 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"h2ds/internal/mat"
+	"h2ds/internal/pointset"
+)
+
+// skewPair is a non-radial Pairwise test kernel: it exercises the
+// EvalPair fallback of the fused primitives. It is deliberately
+// unsymmetric.
+type skewPair struct{}
+
+func (skewPair) EvalPair(x, y []float64) float64 {
+	s := 0.0
+	for c := range x {
+		d := x[c] - 0.9*y[c]
+		s += d * d
+	}
+	return 1 / (1 + s)
+}
+func (skewPair) Symmetric() bool { return false }
+func (skewPair) Name() string    { return "skewpair" }
+
+// fusedKernels is every registered radial kernel plus the pairwise-only
+// fallback kernel.
+func fusedKernels() []Pairwise {
+	ks := make([]Pairwise, 0, len(everyKernel())+1)
+	for _, k := range everyKernel() {
+		ks = append(ks, k)
+	}
+	return append(ks, skewPair{})
+}
+
+// fusedShapes covers the unroll/tail/chunk boundaries: tiny blocks, shapes
+// straddling the 4-wide dot unroll, and shapes straddling the 64-entry
+// fused chunk.
+var fusedShapes = []struct{ rows, cols int }{
+	{1, 1}, {2, 3}, {3, 5}, {4, 4}, {5, 2}, {7, 9}, {17, 33},
+	{30, 64}, {31, 65}, {64, 63}, {100, 100},
+}
+
+func randIdx(rng *rand.Rand, n, count int) []int {
+	idx := make([]int, count)
+	for i := range idx {
+		idx[i] = rng.Intn(n)
+	}
+	return idx
+}
+
+// withZeros returns a copy of v with a deterministic pattern of zeros
+// injected: a run of four (hits the all-zero quad path), alternating zeros
+// (hits every axpyPair case), and a zero tail element.
+func withZeros(v []float64) []float64 {
+	w := append([]float64(nil), v...)
+	for i := 0; i < len(w) && i < 4; i++ {
+		w[i] = 0
+	}
+	for i := 5; i < len(w); i += 3 {
+		w[i] = 0
+	}
+	if len(w) > 0 {
+		w[len(w)-1] = 0
+	}
+	return w
+}
+
+func bitsEqual(t *testing.T, tag string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d want %d", tag, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: element %d = %v (%#x) want %v (%#x)",
+				tag, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestBlockVecAddBitwise pins the fused row-dot path against the seed
+// assemble-then-MulVecAdd path, digit for digit, for every kernel, the 2-D,
+// 3-D, and generic distance loops, and shapes straddling every unroll
+// boundary.
+func TestBlockVecAddBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, d := range []int{2, 3, 5} {
+		x := pointset.Cube(150, d, int64(d))
+		y := pointset.Cube(130, d, int64(d+77))
+		for _, k := range fusedKernels() {
+			for _, sh := range fusedShapes {
+				rows := randIdx(rng, x.Len(), sh.rows)
+				cols := randIdx(rng, y.Len(), sh.cols)
+				v := make([]float64, sh.cols)
+				for i := range v {
+					v[i] = rng.NormFloat64()
+				}
+				out := make([]float64, sh.rows)
+				want := make([]float64, sh.rows)
+				for i := range out {
+					out[i] = rng.NormFloat64()
+					want[i] = out[i]
+				}
+				tile := NewBlock(k, x, rows, y, cols)
+				mat.MulVecAdd(want, tile, v)
+				BlockVecAdd(out, k, x, rows, y, cols, v)
+				bitsEqual(t, k.Name(), out, want)
+			}
+		}
+	}
+}
+
+// TestBlockTVecAddBitwise pins the fused transpose path against
+// assemble-then-MulTVecAdd, including the zero-multiplier skip structure.
+func TestBlockTVecAddBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, d := range []int{2, 3, 5} {
+		x := pointset.Cube(150, d, int64(d))
+		y := pointset.Cube(130, d, int64(d+78))
+		for _, k := range fusedKernels() {
+			for _, sh := range fusedShapes {
+				rows := randIdx(rng, x.Len(), sh.rows)
+				cols := randIdx(rng, y.Len(), sh.cols)
+				v := make([]float64, sh.rows)
+				for i := range v {
+					v[i] = rng.NormFloat64()
+				}
+				for _, vv := range [][]float64{v, withZeros(v)} {
+					out := make([]float64, sh.cols)
+					want := make([]float64, sh.cols)
+					for i := range out {
+						out[i] = rng.NormFloat64()
+						want[i] = out[i]
+					}
+					tile := NewBlock(k, x, rows, y, cols)
+					mat.MulTVecAdd(want, tile, vv)
+					BlockTVecAdd(out, k, x, rows, y, cols, vv)
+					bitsEqual(t, k.Name(), out, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockMulAddBitwise pins the fused batch path (row-panel staging)
+// against assemble-then-MulAddTo for several right-hand-side widths.
+func TestBlockMulAddBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rowbuf := mat.NewDense(0, 0)
+	for _, d := range []int{2, 3, 5} {
+		x := pointset.Cube(150, d, int64(d))
+		y := pointset.Cube(130, d, int64(d+79))
+		for _, k := range fusedKernels() {
+			for _, sh := range fusedShapes {
+				for _, nrhs := range []int{1, 3, 5} {
+					rows := randIdx(rng, x.Len(), sh.rows)
+					cols := randIdx(rng, y.Len(), sh.cols)
+					b := mat.NewDense(sh.cols, nrhs)
+					for i := range b.Data {
+						b.Data[i] = rng.NormFloat64()
+					}
+					out := mat.NewDense(sh.rows, nrhs)
+					want := mat.NewDense(sh.rows, nrhs)
+					for i := range out.Data {
+						out.Data[i] = rng.NormFloat64()
+						want.Data[i] = out.Data[i]
+					}
+					tile := NewBlock(k, x, rows, y, cols)
+					mat.MulAddTo(want, tile, b)
+					BlockMulAdd(out, k, x, rows, y, cols, b, rowbuf)
+					bitsEqual(t, k.Name(), out.Data, want.Data)
+				}
+			}
+		}
+	}
+}
+
+// TestApplyBlockBitwiseFused pins the consolidated ApplyBlock against the
+// same fused summation order (assemble, gather, MulVecAdd).
+func TestApplyBlockBitwiseFused(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, d := range []int{2, 3, 5} {
+		x := pointset.Cube(140, d, int64(d+5))
+		for _, k := range fusedKernels() {
+			rows := randIdx(rng, x.Len(), 23)
+			cols := randIdx(rng, x.Len(), 69)
+			v := make([]float64, x.Len())
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			got := make([]float64, x.Len())
+			want := make([]float64, x.Len())
+			ApplyBlock(k, x, rows, cols, v, got)
+			tile := NewBlock(k, x, rows, x, cols)
+			vc := make([]float64, len(cols))
+			for c, j := range cols {
+				vc[c] = v[j]
+			}
+			prod := make([]float64, len(rows))
+			mat.MulVecAdd(prod, tile, vc)
+			for r, i := range rows {
+				want[i] += prod[r]
+			}
+			bitsEqual(t, k.Name(), got, want)
+		}
+	}
+}
+
+// TestRowApplyBitwiseFused pins RowApply against BlockVecAdd over the full
+// index range: one code path, same results.
+func TestRowApplyBitwiseFused(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, d := range []int{2, 3, 5} {
+		for _, n := range []int{1, 3, 65, 131} {
+			x := pointset.Cube(n, d, int64(10*d+n))
+			all := make([]int, n)
+			for i := range all {
+				all[i] = i
+			}
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			for _, k := range fusedKernels() {
+				for _, i := range []int{0, n / 2, n - 1} {
+					want := make([]float64, 1)
+					BlockVecAdd(want, k, x, []int{i}, x, all, v)
+					got := RowApply(k, x, i, v)
+					if math.Float64bits(got) != math.Float64bits(want[0]) {
+						t.Fatalf("%s d=%d n=%d row %d: RowApply %v want %v", k.Name(), d, n, i, got, want[0])
+					}
+				}
+			}
+		}
+	}
+}

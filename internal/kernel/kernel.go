@@ -371,25 +371,35 @@ func assembleGeneric(dst *mat.Dense, k Kernel, x *pointset.Points, rows []int, y
 // without materializing the block. y and v are full-length vectors indexed
 // by the global point ordering; rows/cols index into x. This is the fully
 // streaming alternative to assemble-then-multiply used by the direct
-// (dense reference) product.
+// (dense reference) product. It runs on the same fused chunk machinery as
+// BlockVecAdd (per-chunk devirtualized evaluation, dot's 4-accumulator
+// grouping per row), gathering v through the column index set.
 func ApplyBlock(k Pairwise, x *pointset.Points, rows, cols []int, v, y []float64) {
-	d := x.Dim
 	rk, radial := k.(Kernel)
+	d := x.Dim
+	L := len(cols)
+	U := L &^ 3
+	var r2buf, kbuf, vbuf [fusedChunk]float64
 	for _, i := range rows {
 		xi := x.Coords[i*d : i*d+d]
-		s := 0.0
-		for _, j := range cols {
-			yj := x.Coords[j*d : j*d+d]
-			if radial {
-				r2 := 0.0
-				for c, w := range xi {
-					dd := w - yj[c]
-					r2 += dd * dd
-				}
-				s += rk.EvalDist(math.Sqrt(r2)) * v[j]
-			} else {
-				s += k.EvalPair(xi, yj) * v[j]
+		var s0, s1, s2, s3 float64
+		for b0 := 0; b0 < U; b0 += fusedChunk {
+			b1 := min(b0+fusedChunk, U)
+			cc := cols[b0:b1]
+			kernelChunk(rk, k, radial, kbuf[:], r2buf[:], xi, x, cc, d)
+			for t, j := range cc {
+				vbuf[t] = v[j]
 			}
+			for t := 0; t+4 <= len(cc); t += 4 {
+				s0 += kbuf[t] * vbuf[t]
+				s1 += kbuf[t+1] * vbuf[t+1]
+				s2 += kbuf[t+2] * vbuf[t+2]
+				s3 += kbuf[t+3] * vbuf[t+3]
+			}
+		}
+		s := (s0 + s1) + (s2 + s3)
+		for b := U; b < L; b++ {
+			s += evalOne(rk, k, radial, xi, x, cols[b], d) * v[cols[b]]
 		}
 		y[i] += s
 	}
@@ -397,25 +407,39 @@ func ApplyBlock(k Pairwise, x *pointset.Points, rows, cols []int, v, y []float64
 
 // RowApply computes one exact row of the kernel matrix-vector product:
 // it returns Σ_j K(x_i, x_j) v[j] over all points j. Used by the 12-row
-// relative-error estimator (paper §IV) and by tests.
+// relative-error estimator (paper §IV) and by tests. Like ApplyBlock it
+// runs on the fused chunk machinery, with the column set being every point.
 func RowApply(k Pairwise, x *pointset.Points, i int, v []float64) float64 {
-	d := x.Dim
-	xi := x.Coords[i*d : i*d+d]
-	s := 0.0
-	n := x.Len()
 	rk, radial := k.(Kernel)
-	for j := 0; j < n; j++ {
-		yj := x.Coords[j*d : j*d+d]
+	d := x.Dim
+	n := x.Len()
+	xi := x.Coords[i*d : i*d+d]
+	U := n &^ 3
+	var r2buf, kbuf [fusedChunk]float64
+	var s0, s1, s2, s3 float64
+	for b0 := 0; b0 < U; b0 += fusedChunk {
+		b1 := min(b0+fusedChunk, U)
+		ck := b1 - b0
 		if radial {
-			r2 := 0.0
-			for c, w := range xi {
-				dd := w - yj[c]
-				r2 += dd * dd
-			}
-			s += rk.EvalDist(math.Sqrt(r2)) * v[j]
+			distChunkSeq(r2buf[:ck], xi, x, b0, d)
+			evalChunk(rk, kbuf[:ck], r2buf[:ck])
 		} else {
-			s += k.EvalPair(xi, yj) * v[j]
+			for t := 0; t < ck; t++ {
+				j := b0 + t
+				kbuf[t] = k.EvalPair(xi, x.Coords[j*d:j*d+d])
+			}
 		}
+		vv := v[b0:b1]
+		for t := 0; t+4 <= ck; t += 4 {
+			s0 += kbuf[t] * vv[t]
+			s1 += kbuf[t+1] * vv[t+1]
+			s2 += kbuf[t+2] * vv[t+2]
+			s3 += kbuf[t+3] * vv[t+3]
+		}
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for j := U; j < n; j++ {
+		s += evalOne(rk, k, radial, xi, x, j, d) * v[j]
 	}
 	return s
 }

@@ -1,0 +1,99 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// transpose materializes Aᵀ. The order-preserving primitives promise: applying
+// a stored block with the *opposite* orientation's summation order is bitwise
+// identical to materializing the transpose and using the normal primitive.
+func transpose(a *Dense) *Dense {
+	t := NewDense(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			t.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]
+		}
+	}
+	return t
+}
+
+func fillRand(rng *rand.Rand, xs []float64) {
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+}
+
+func orderShapes() [][2]int {
+	return [][2]int{{1, 1}, {2, 5}, {4, 4}, {5, 2}, {7, 3}, {16, 9}, {17, 33}, {63, 64}}
+}
+
+func TestMulTVecAddDotMatchesForwardOnTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, sh := range orderShapes() {
+		a := NewDense(sh[0], sh[1])
+		fillRand(rng, a.Data)
+		x := make([]float64, sh[0])
+		fillRand(rng, x)
+		y := make([]float64, sh[1])
+		want := make([]float64, sh[1])
+		fillRand(rng, y)
+		copy(want, y)
+		MulVecAdd(want, transpose(a), x)
+		MulTVecAddDot(y, a, x)
+		for i := range y {
+			if math.Float64bits(y[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("shape %v elem %d: %v want %v", sh, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulVecAddSeqMatchesTransposeOnTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, sh := range orderShapes() {
+		a := NewDense(sh[0], sh[1])
+		fillRand(rng, a.Data)
+		x := make([]float64, sh[1])
+		fillRand(rng, x)
+		// Inject zeros so the zero-skip structure of MulTVecAdd is exercised.
+		for i := 0; i < len(x); i += 3 {
+			x[i] = 0
+		}
+		y := make([]float64, sh[0])
+		want := make([]float64, sh[0])
+		fillRand(rng, y)
+		copy(want, y)
+		MulTVecAdd(want, transpose(a), x)
+		MulVecAddSeq(y, a, x)
+		for i := range y {
+			if math.Float64bits(y[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("shape %v elem %d: %v want %v", sh, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulTAddToDotMatchesBatchOnTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, sh := range orderShapes() {
+		for _, nrhs := range []int{1, 2, 5} {
+			a := NewDense(sh[0], sh[1])
+			fillRand(rng, a.Data)
+			b := NewDense(sh[0], nrhs)
+			fillRand(rng, b.Data)
+			c := NewDense(sh[1], nrhs)
+			want := NewDense(sh[1], nrhs)
+			fillRand(rng, c.Data)
+			copy(want.Data, c.Data)
+			MulAddTo(want, transpose(a), b)
+			MulTAddToDot(c, a, b)
+			for i := range c.Data {
+				if math.Float64bits(c.Data[i]) != math.Float64bits(want.Data[i]) {
+					t.Fatalf("shape %v nrhs=%d elem %d: %v want %v", sh, nrhs, i, c.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}

@@ -16,6 +16,7 @@ type counters struct {
 	evictions       atomic.Int64
 	rehydrations    atomic.Int64
 	swapDrains      atomic.Int64
+	downgrades      atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of the registry's lifecycle counters.
@@ -27,6 +28,7 @@ type Stats struct {
 	Evictions       int64 `json:"evictions"`
 	Rehydrations    int64 `json:"rehydrations"`
 	SwapDrains      int64 `json:"swap_drains"`
+	Downgrades      int64 `json:"downgrades"` // budget overages resolved by hybrid storage shrink instead of eviction
 
 	QueueDepth int   `json:"queue_depth"` // builds accepted but not yet started
 	Instances  int   `json:"instances"`
@@ -44,6 +46,7 @@ func (r *Registry) Stats() Stats {
 		Evictions:       r.st.evictions.Load(),
 		Rehydrations:    r.st.rehydrations.Load(),
 		SwapDrains:      r.st.swapDrains.Load(),
+		Downgrades:      r.st.downgrades.Load(),
 		QueueDepth:      len(r.queue),
 		MemBudget:       r.cfg.MemBudget,
 	}

@@ -666,26 +666,38 @@ func (r *Registry) Delete(name string) error {
 	return nil
 }
 
-// enforceBudget evicts least-recently-applied Ready instances until the
-// total Ready memory fits the budget. Called after every successful build.
+// enforceBudget reclaims memory from least-recently-applied Ready instances
+// until the total fits the budget. For each LRU victim it first tries to
+// DOWNGRADE: re-derive the matrix in hybrid mode with its block storage
+// budget shrunk by the overage (core.Matrix.WithStorageBudget shares every
+// generator, so this costs one block-subset re-assembly, not a rebuild) and
+// swap the smaller version in, keeping the instance servable. Only when a
+// victim has no stored blocks left to shed does it fall back to full
+// eviction (with optional spill). Called after every successful build.
 func (r *Registry) enforceBudget() {
 	if r.cfg.MemBudget <= 0 {
 		return
 	}
 	for {
-		victim, old := r.pickVictim()
+		victim, old, over := r.pickVictim()
 		if victim == nil {
 			return
+		}
+		if r.downgrade(victim, old, over) {
+			continue
 		}
 		r.evict(victim, old)
 	}
 }
 
-// pickVictim returns the LRU Ready instance to evict — already transitioned
+// pickVictim returns the LRU Ready instance to reclaim — already transitioned
 // to Evicted with its version unlinked, so no new Apply can route to it and
 // a concurrent hot-swap completion cannot hand the same version out again —
-// or nil when the budget is satisfied.
-func (r *Registry) pickVictim() (*instance, *version) {
+// plus the current budget overage, or nil when the budget is satisfied.
+// Applies arriving during the reclaim window wait on the change channel
+// (spilling is set) and see either the downgraded Ready version or the final
+// evicted state.
+func (r *Registry) pickVictim() (*instance, *version, int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var total int64
@@ -702,17 +714,64 @@ func (r *Registry) pickVictim() (*instance, *version) {
 		inst.mu.Unlock()
 	}
 	if total <= r.cfg.MemBudget || victim == nil {
-		return nil, nil
+		return nil, nil, 0
 	}
 	victim.mu.Lock()
 	old := victim.cur
 	victim.cur = nil
 	victim.state = StateEvicted
-	victim.spilling = r.cfg.SpillDir != ""
+	victim.spilling = true
 	victim.mem = 0
 	victim.broadcastLocked()
 	victim.mu.Unlock()
-	return victim, old
+	return victim, old, total - r.cfg.MemBudget
+}
+
+// downgrade tries to shrink the victim's block storage by the overage
+// instead of evicting it. It reports true when the victim was handled (the
+// smaller hybrid version was installed, or the instance moved on
+// concurrently); false leaves the victim untouched for evict. Each pass
+// strictly shrinks the stored-block footprint, so repeated passes over the
+// same instance terminate at zero stored bytes and fall through to
+// eviction.
+func (r *Registry) downgrade(inst *instance, old *version, over int64) bool {
+	if old == nil {
+		return false
+	}
+	m := old.b.Matrix()
+	mem := m.Memory()
+	stored := mem.Coupling + mem.Nearfield
+	if stored == 0 || m.Cfg.Mode == core.OnTheFly {
+		return false // nothing left to shed; evict
+	}
+	newBudget := stored - over
+	if newBudget < 0 {
+		newBudget = 0
+	}
+	old.drain()
+	dm := m.WithStorageBudget(newBudget)
+	nv := &version{b: serve.NewBatcher(dm, r.cfg.Batch)}
+
+	inst.mu.Lock()
+	if inst.state != StateEvicted {
+		// Deleted or concurrently rebuilt while we were re-assembling; the
+		// new owner supersedes this downgrade.
+		inst.mu.Unlock()
+		nv.b.Close()
+		return true
+	}
+	inst.cur = nv
+	inst.state = StateReady
+	inst.mem = dm.Memory().Total()
+	inst.spilling = false
+	inst.err = nil
+	// lastApply is deliberately left untouched: the instance stays LRU, so
+	// further overage keeps shedding its blocks before touching warmer
+	// instances.
+	inst.broadcastLocked()
+	inst.mu.Unlock()
+	r.st.downgrades.Add(1)
+	return true
 }
 
 // evict drains the victim's unlinked version — in-flight Apply calls and

@@ -25,11 +25,16 @@ type BuildSpec struct {
 	Dim     int     `json:"dim,omitempty"`     // dimension, cube only (default 3)
 	Tol     float64 `json:"tol,omitempty"`     // target relative accuracy (default 1e-6)
 	Basis   string  `json:"basis,omitempty"`   // "dd" or "interp" (default "dd")
-	Mem     string  `json:"mem,omitempty"`     // "normal" or "otf" (default "otf")
+	Mem     string  `json:"mem,omitempty"`     // "normal", "otf", or "hybrid" (default "otf")
 	Leaf    int     `json:"leaf,omitempty"`    // leaf size (0 = core default)
 	Sampler string  `json:"sampler,omitempty"` // sampler name (default "anchornet")
 	Seed    int64   `json:"seed,omitempty"`    // workload seed (default 1)
 	Workers int     `json:"workers,omitempty"` // build/matvec workers (0 = GOMAXPROCS)
+
+	// StorageBudget is the hybrid-mode block byte budget (mem "hybrid"
+	// only): the best assembly-savings-per-byte blocks are stored up to
+	// this many bytes and the rest are evaluated on the fly.
+	StorageBudget int64 `json:"storage_budget,omitempty"`
 
 	// Path, when set, loads the matrix from this serialized file instead of
 	// building; the kernel is resolved from the stream (core.ReadAny) and
@@ -92,8 +97,11 @@ func (sp BuildSpec) validate() error {
 	if sp.Basis != "dd" && sp.Basis != "interp" {
 		return fmt.Errorf("registry: unknown basis %q (valid: dd, interp)", sp.Basis)
 	}
-	if sp.Mem != "normal" && sp.Mem != "otf" {
-		return fmt.Errorf("registry: unknown memory mode %q (valid: normal, otf)", sp.Mem)
+	if sp.Mem != "normal" && sp.Mem != "otf" && sp.Mem != "hybrid" {
+		return fmt.Errorf("registry: unknown memory mode %q (valid: normal, otf, hybrid)", sp.Mem)
+	}
+	if sp.StorageBudget < 0 {
+		return fmt.Errorf("registry: negative storage budget %d", sp.StorageBudget)
 	}
 	if sp.N < 1 {
 		return fmt.Errorf("registry: n must be positive, got %d", sp.N)
@@ -158,6 +166,9 @@ func DefaultBuild(ctx context.Context, sp BuildSpec, setStage func(string)) (*co
 		cfg.Mode = core.Normal
 	case "otf":
 		cfg.Mode = core.OnTheFly
+	case "hybrid":
+		cfg.Mode = core.Hybrid
+		cfg.StorageBudget = sp.StorageBudget
 	default:
 		return nil, fmt.Errorf("registry: unknown memory mode %q", sp.Mem)
 	}
