@@ -38,6 +38,7 @@ func main() {
 	conc := flag.Int("conc", 32, "client concurrency (serve experiment)")
 	window := flag.Duration("window", 500*time.Microsecond, "batcher flush window (serve experiment)")
 	jsonOut := flag.String("json", "", "output path for machine-readable reports (matvec experiment; \"\" = BENCH_matvec.json)")
+	reltol := flag.Float64("reltol", 0, "error-controlled build tolerance for single-build experiments (0 = fixed-parameter builds)")
 	flag.Parse()
 
 	if _, err := kernel.ByName(*kern); err != nil {
@@ -61,6 +62,7 @@ func main() {
 		Conc:       *conc,
 		Window:     *window,
 		JSONOut:    *jsonOut,
+		RelTol:     *reltol,
 		Out:        os.Stdout,
 	}
 	if err := bench.Run(*exp, opt); err != nil {

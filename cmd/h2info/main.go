@@ -27,6 +27,7 @@ func main() {
 	dist := flag.String("dist", "cube", "distribution: cube, sphere, dino, ball, mixture")
 	kern := flag.String("kernel", "coulomb", "kernel: "+strings.Join(kernel.Names(), ", "))
 	tol := flag.Float64("tol", 1e-8, "target relative accuracy")
+	reltol := flag.Float64("reltol", 0, "error-controlled build: derive ranks and sample sizes from this tolerance and report the a-posteriori estimate plus per-level ranks (0 = fixed-parameter build via -tol)")
 	basis := flag.String("basis", "dd", "construction: dd (data-driven) or interp")
 	mem := flag.String("mem", "otf", "memory mode: normal or otf")
 	leaf := flag.Int("leaf", 0, "leaf size (0 = default)")
@@ -53,7 +54,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := core.Config{
-		Tol: *tol, LeafSize: *leaf, Eta: *eta, Workers: *threads,
+		Tol: *tol, RelTol: *reltol, LeafSize: *leaf, Eta: *eta, Workers: *threads,
 		Sampler: s, SampleBudget: *budget,
 	}
 	switch *basis {
@@ -90,6 +91,13 @@ func main() {
 	fmt.Printf("build: total %v (tree %v, sampling %v, basis %v, coupling %v)\n",
 		st.Total, st.TreeTime, st.SampleTime, st.BasisTime, st.CouplingTime)
 	fmt.Printf("memory: %v\n", m.Memory())
+	if st.RelTol > 0 {
+		fmt.Printf("error-controlled: reltol=%.0e, a-posteriori estimate %.3e\n", st.RelTol, st.EstRelErr)
+		for _, lr := range st.LevelRanks {
+			fmt.Printf("  level %d: %d nodes, rank min %d / avg %.1f / max %d\n",
+				lr.Level, lr.Nodes, lr.MinRank, lr.AvgRank, lr.MaxRank)
+		}
+	}
 
 	rng := rand.New(rand.NewSource(*seed + 7))
 	b := make([]float64, *n)

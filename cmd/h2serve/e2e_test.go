@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -310,5 +311,114 @@ func TestUnmarshalStateRoundTrip(t *testing.T) {
 		if string(buf) != want {
 			t.Fatalf("state %d marshals to %s, want %s", s, buf, want)
 		}
+	}
+}
+
+// TestE2EInvalidSpecRejected checks spec validation surfaces as a 400 with
+// the specific failure in the body — not a 500, and not an asynchronous
+// Failed build the client would have to poll for.
+func TestE2EInvalidSpecRejected(t *testing.T) {
+	reg := registry.New(registry.Config{Workers: 1})
+	defer reg.Close()
+	ts := httptest.NewServer(newServer(reg, 5*time.Second, false))
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, string) {
+		t.Helper()
+		resp, err := ts.Client().Post(ts.URL+"/matrices", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(out)
+	}
+
+	cases := []struct {
+		body    string
+		mention string
+	}{
+		{`{"name":"x","spec":{"n":100,"tol":1.5}}`, "tol"},
+		{`{"name":"x","spec":{"n":100,"tol":-1e-6}}`, "tol"},
+		{`{"name":"x","spec":{"n":100,"reltol":2}}`, "reltol"},
+		{`{"name":"x","spec":{"n":100,"reltol":-0.5}}`, "reltol"},
+		{`{"name":"bad name!","spec":{"n":100}}`, "name"},
+		{`{"name":"x","spec":{"n":100,"kernel":"nope"}}`, "nope"},
+	}
+	for _, c := range cases {
+		resp, body := post(c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST %s: status %d (%s), want 400", c.body, resp.StatusCode, body)
+		}
+		if !strings.Contains(body, c.mention) {
+			t.Fatalf("POST %s: body %q does not mention %q", c.body, body, c.mention)
+		}
+	}
+	// Nothing was created by any of the rejected specs.
+	if len(reg.List()) != 0 {
+		t.Fatalf("rejected specs left instances behind: %+v", reg.List())
+	}
+}
+
+// TestE2ERelTolReporting creates an error-controlled instance over HTTP and
+// checks the reltol metadata flows out of both /matrices/{name} and /stats.
+func TestE2ERelTolReporting(t *testing.T) {
+	reg := registry.New(registry.Config{Workers: 1})
+	defer reg.Close()
+	ts := httptest.NewServer(newServer(reg, 10*time.Second, false))
+	defer ts.Close()
+
+	body := `{"name":"default","spec":{"n":800,"dim":3,"reltol":1e-4,"mem":"normal","leaf":50,"seed":3}}`
+	resp, err := ts.Client().Post(ts.URL+"/matrices", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+	if err := reg.WaitReady(context.Background(), "default"); err != nil {
+		t.Fatal(err)
+	}
+
+	var inf registry.Info
+	resp, err = ts.Client().Get(ts.URL + "/matrices/default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(raw, &inf); err != nil {
+		t.Fatalf("info body: %v (%s)", err, raw)
+	}
+	if inf.RelTol != 1e-4 || inf.EstRelErr <= 0 || inf.EstRelErr > 10*inf.RelTol {
+		t.Fatalf("info reltol reporting: reltol=%g est=%g", inf.RelTol, inf.EstRelErr)
+	}
+	if inf.MaxRank <= 0 || len(inf.LevelRanks) == 0 {
+		t.Fatalf("info rank reporting: %+v", inf)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var stats struct {
+		Matrix struct {
+			RelTol     float64          `json:"reltol"`
+			EstRelErr  float64          `json:"est_relerr"`
+			MaxRank    int              `json:"max_rank"`
+			LevelRanks []core.LevelRank `json:"level_ranks"`
+		} `json:"matrix"`
+	}
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatalf("stats body: %v (%s)", err, raw)
+	}
+	if stats.Matrix.RelTol != 1e-4 || stats.Matrix.EstRelErr <= 0 {
+		t.Fatalf("/stats reltol reporting: %+v (%s)", stats.Matrix, raw)
+	}
+	if stats.Matrix.MaxRank <= 0 || len(stats.Matrix.LevelRanks) == 0 {
+		t.Fatalf("/stats rank reporting: %+v", stats.Matrix)
 	}
 }

@@ -67,6 +67,7 @@ func run() error {
 	dist := flag.String("dist", "cube", "distribution: cube, sphere, dino, ball, mixture")
 	kern := flag.String("kernel", "coulomb", "kernel: "+strings.Join(kernel.Names(), ", ")+"; with -load, checked against the stream")
 	tol := flag.Float64("tol", 1e-6, "target relative accuracy")
+	reltol := flag.Float64("reltol", 0, "error-controlled build: derive ranks and sample sizes from this tolerance and report an a-posteriori error estimate (0 = fixed-parameter build via -tol)")
 	basis := flag.String("basis", "dd", "construction: dd (data-driven) or interp")
 	mem := flag.String("mem", "otf", "memory mode: normal, otf, or hybrid")
 	storageMB := flag.Int64("storage", 0, "hybrid stored-block budget in MiB (-mem hybrid): the best assembly-cost-per-byte blocks are stored, the rest evaluated on the fly")
@@ -91,7 +92,7 @@ func run() error {
 
 	// The default instance's spec, straight from the flags.
 	spec := registry.BuildSpec{
-		Kernel: *kern, Dist: *dist, N: *n, Dim: *dim, Tol: *tol,
+		Kernel: *kern, Dist: *dist, N: *n, Dim: *dim, Tol: *tol, RelTol: *reltol,
 		Basis: *basis, Mem: *mem, Leaf: *leaf, Sampler: *samplerName,
 		Seed: *seed, Workers: *threads, StorageBudget: *storageMB << 20,
 	}

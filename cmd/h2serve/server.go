@@ -84,6 +84,10 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // registryError maps registry sentinel errors onto HTTP statuses.
 func registryError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, registry.ErrInvalidSpec):
+		// Synchronous spec rejection (bad name, NaN/out-of-range tolerance,
+		// unknown enum): the body carries the specific validation failure.
+		http.Error(w, err.Error(), http.StatusBadRequest)
 	case errors.Is(err, registry.ErrNotFound):
 		http.Error(w, err.Error(), http.StatusNotFound)
 	case errors.Is(err, registry.ErrBusy):
@@ -187,6 +191,12 @@ func statsHandler(reg *registry.Registry) http.HandlerFunc {
 		Kernel string `json:"kernel"`
 		Mode   string `json:"mode"`
 		Basis  string `json:"basis"`
+
+		// Error-controlled build reporting (reltol builds only).
+		RelTol     float64          `json:"reltol,omitempty"`
+		EstRelErr  float64          `json:"est_relerr,omitempty"`
+		MaxRank    int              `json:"max_rank,omitempty"`
+		LevelRanks []core.LevelRank `json:"level_ranks,omitempty"`
 	}
 	return func(w http.ResponseWriter, _ *http.Request) {
 		out := struct {
@@ -199,6 +209,8 @@ func statsHandler(reg *registry.Registry) http.HandlerFunc {
 			out.Matrix = &matrixInfo{
 				N: inf.N, Dim: inf.Dim, Kernel: inf.Kernel,
 				Mode: inf.Mode, Basis: inf.Basis,
+				RelTol: inf.RelTol, EstRelErr: inf.EstRelErr,
+				MaxRank: inf.MaxRank, LevelRanks: inf.LevelRanks,
 			}
 			out.Serve = inf.Serve
 			if m, ok := reg.Matrix(DefaultInstance); ok {

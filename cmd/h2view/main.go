@@ -55,6 +55,7 @@ func main() {
 	dist := flag.String("dist", "cube", "distribution: cube, sphere, dino")
 	kern := flag.String("kernel", "coulomb", "kernel: "+strings.Join(kernel.Names(), ", "))
 	tol := flag.Float64("tol", 1e-7, "target relative accuracy (the paper's Fig 2 uses 1e-7)")
+	reltol := flag.Float64("reltol", 0, "error-controlled build: ranks fall out of this tolerance instead of the fixed parameters (0 = use -tol)")
 	leaf := flag.Int("leaf", 100, "leaf size")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
@@ -69,12 +70,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "h2view: %v\n", err)
 		os.Exit(2)
 	}
-	dd, err := core.Build(pts, k, core.Config{Kind: core.DataDriven, Mode: core.OnTheFly, Tol: *tol, LeafSize: *leaf})
+	dd, err := core.Build(pts, k, core.Config{Kind: core.DataDriven, Mode: core.OnTheFly, Tol: *tol, RelTol: *reltol, LeafSize: *leaf})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "h2view:", err)
 		os.Exit(1)
 	}
-	ip, err := core.Build(pts, k, core.Config{Kind: core.Interpolation, Mode: core.OnTheFly, Tol: *tol,
+	ip, err := core.Build(pts, k, core.Config{Kind: core.Interpolation, Mode: core.OnTheFly, Tol: *tol, RelTol: *reltol,
 		LeafSize: *leaf, ReuseTree: dd.Tree})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "h2view:", err)

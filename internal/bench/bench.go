@@ -53,6 +53,10 @@ type Options struct {
 	// machine-readable report ("" = the experiment's default, e.g.
 	// BENCH_matvec.json for the matvec experiment).
 	JSONOut string
+	// RelTol, when positive, requests error-controlled builds: the reltol
+	// experiment sweeps only this tolerance instead of its default axis, and
+	// the matvec experiment builds its matrices in error-controlled mode.
+	RelTol float64
 	// Out receives the report (nil = io.Discard).
 	Out io.Writer
 }
@@ -117,7 +121,7 @@ func (o Options) seed() int64 {
 
 // Experiments lists the runnable experiment ids in paper order.
 func Experiments() []string {
-	return []string{"fig2", "fig4", "fig5", "fig6", "table1", "fig7", "fig8", "fig9", "ablation", "rhs", "serve", "registry", "matvec"}
+	return []string{"fig2", "fig4", "fig5", "fig6", "table1", "fig7", "fig8", "fig9", "ablation", "rhs", "serve", "registry", "matvec", "reltol"}
 }
 
 // Run executes one experiment ("fig2", ..., "table1", "ablation") or "all".
@@ -149,6 +153,8 @@ func Run(exp string, opt Options) error {
 		return RegistryBench(opt)
 	case "matvec":
 		return MatvecJSON(opt)
+	case "reltol":
+		return RelTolSweep(opt)
 	case "all":
 		for _, e := range Experiments() {
 			if err := Run(e, opt); err != nil {

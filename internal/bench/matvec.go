@@ -37,6 +37,11 @@ type MatvecReport struct {
 	Kernel     string      `json:"kernel"`
 	Workers    int         `json:"workers"`
 	Runs       []MatvecRun `json:"runs"`
+
+	// RelTolSweep is the error-controlled build sweep (the reltol
+	// experiment): requested tolerance vs achieved rank, memory, and
+	// measured error. Owned by RelTolSweep; MatvecJSON preserves it.
+	RelTolSweep []RelTolRun `json:"reltol_sweep,omitempty"`
 }
 
 // matvecCases returns the (n, leaf) grid for the given scale. The small-n
@@ -111,7 +116,7 @@ func MatvecJSON(opt Options) error {
 				fmt.Sprintf("%.2e", run.RelErr))
 		}
 
-		cfg := core.Config{Kind: core.DataDriven, Mode: core.Normal, Tol: 1e-6,
+		cfg := core.Config{Kind: core.DataDriven, Mode: core.Normal, Tol: 1e-6, RelTol: opt.RelTol,
 			LeafSize: leaf, Workers: opt.Threads, Sampler: opt.sampler()}
 		norm, err := core.Build(pts, k, cfg)
 		if err != nil {
@@ -140,6 +145,14 @@ func MatvecJSON(opt Options) error {
 	path := opt.JSONOut
 	if path == "" {
 		path = "BENCH_matvec.json"
+	}
+	// Carry over the reltol experiment's section from a previous run of the
+	// same file; this experiment only owns the matvec rows.
+	if buf, err := os.ReadFile(path); err == nil {
+		var old MatvecReport
+		if json.Unmarshal(buf, &old) == nil {
+			rep.RelTolSweep = old.RelTolSweep
+		}
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRelTolSweepSmoke runs the error-controlled sweep end to end at tiny
+// scale: the runner's own assertions (error within 10x of request, monotone
+// rank/memory) must hold, and the JSON merge must coexist with a matvec
+// report in the same file.
+func TestRelTolSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+
+	// Seed the file with a matvec section the sweep must preserve.
+	seed := MatvecReport{Experiment: "matvec", Scale: "tiny", Kernel: "coulomb", Workers: 2,
+		Runs: []MatvecRun{{N: 1500, Leaf: 25, Mode: "normal"}}}
+	buf, err := json.Marshal(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	opt := tinyOpt(&out)
+	opt.JSONOut = path
+	if err := RelTolSweep(opt); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"error-controlled build sweep", "1e-02", "1e-08", "within 10x"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("reltol output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep MatvecReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 1 || rep.Runs[0].N != 1500 {
+		t.Fatalf("sweep clobbered the matvec section: %+v", rep.Runs)
+	}
+	if len(rep.RelTolSweep) != len(relTolAxis) {
+		t.Fatalf("reltol_sweep rows = %d, want %d", len(rep.RelTolSweep), len(relTolAxis))
+	}
+	for i, run := range rep.RelTolSweep {
+		if run.MeasuredErr > 10*run.RelTol || run.EstRelErr > 10*run.RelTol {
+			t.Fatalf("row %d violates the 10x contract: %+v", i, run)
+		}
+		if i > 0 && run.MaxRank < rep.RelTolSweep[i-1].MaxRank {
+			t.Fatalf("rank not monotone at row %d: %+v", i, rep.RelTolSweep)
+		}
+	}
+
+	// A single-point sweep honors Options.RelTol.
+	out.Reset()
+	opt.RelTol = 1e-3
+	if err := RelTolSweep(opt); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = os.ReadFile(path)
+	rep = MatvecReport{}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RelTolSweep) != 1 || rep.RelTolSweep[0].RelTol != 1e-3 {
+		t.Fatalf("single-point sweep: %+v", rep.RelTolSweep)
+	}
+}

@@ -88,6 +88,17 @@ type Config struct {
 	// tolerance; for interpolation it calibrates the grid size.
 	Tol float64
 
+	// RelTol, when positive, requests an error-controlled build (the
+	// Cai–Huang–Chow–Xi formalization of the paper's construction): it
+	// overrides Tol as the accuracy target, the anchor-net sample size is
+	// derived from the tolerance via the interpolation calibration
+	// (RelTolSampleBudget), per-node ranks fall out of the ID truncation at
+	// the tolerance rather than any fixed rank parameter, and Build finishes
+	// with an a-posteriori sampled error estimate recorded in
+	// BuildStats.EstRelErr. Must be in (0, 1); zero selects the
+	// fixed-parameter build driven by Tol/SampleBudget.
+	RelTol float64
+
 	// SampleBudget is the per-node sample size m for the data-driven
 	// method; 0 derives it from Tol and the dimension.
 	SampleBudget int
@@ -136,6 +147,16 @@ type Config struct {
 
 // withDefaults returns cfg with zero fields resolved.
 func (cfg Config) withDefaults(dim int) Config {
+	if cfg.RelTol > 0 {
+		// Error-controlled build: the tolerance is the single knob. It
+		// replaces Tol as the truncation/calibration target, and the sample
+		// budget default comes from the tolerance-rank calibration instead of
+		// the fixed-parameter table.
+		cfg.Tol = cfg.RelTol
+		if cfg.SampleBudget <= 0 {
+			cfg.SampleBudget = RelTolSampleBudget(cfg.RelTol, dim)
+		}
+	}
 	if cfg.Tol <= 0 {
 		cfg.Tol = 1e-8
 	}
@@ -175,4 +196,32 @@ func DefaultSampleBudget(tol float64, dim int) int {
 		m *= 1 + 0.4*float64(dim-3)
 	}
 	return int(math.Ceil(m))
+}
+
+// RelTolSampleBudget derives the per-node anchor-net size for an
+// error-controlled (RelTol) build by reusing the interpolation calibration:
+// interp.PFromTol gives the points-per-direction p that reaches the
+// tolerance at the default separation, a well-separated interaction in d
+// dimensions then has numerical rank on the order of the boundary grid
+// p^(d-1), and the sample set must oversample that rank so the ID
+// truncation — not the sample size — decides each node's rank. The
+// boundary-grid exponent is capped at two (the 3-D surface case): the
+// anchor net is a low-discrepancy lattice whose coverage does not degrade
+// with dimension, so beyond 3-D the fixed-parameter growth rule is the
+// better model and the result never falls below DefaultSampleBudget.
+func RelTolSampleBudget(reltol float64, dim int) int {
+	p := interp.PFromTol(reltol)
+	d := dim
+	if d > 3 {
+		d = 3
+	}
+	r := 1
+	for i := 0; i < d-1; i++ {
+		r *= p
+	}
+	m := 2*r + 10
+	if def := DefaultSampleBudget(reltol, dim); m < def {
+		m = def
+	}
+	return m
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -92,6 +94,29 @@ type BuildStats struct {
 	NearBlocks           int // undirected nearfield blocks represented
 	MaxRank              int
 	SumLeafRank          int
+
+	// LevelRanks summarizes the achieved row-basis ranks per tree level —
+	// the observable output of the rank-selection rule (ID truncation at
+	// the tolerance), reported by h2info and the serving /stats endpoints.
+	LevelRanks []LevelRank
+
+	// RelTol is the requested error-controlled tolerance (zero for
+	// fixed-parameter builds) and EstRelErr the a-posteriori sampled
+	// relative error ‖Ax − K̃x‖/‖Kx‖ measured against dense reference rows
+	// right after construction. EstRelErr is only computed for RelTol
+	// builds; it rides through serialization so a loaded matrix still
+	// reports the accuracy it was verified at.
+	RelTol    float64
+	EstRelErr float64
+}
+
+// LevelRank is the achieved rank summary of one tree level.
+type LevelRank struct {
+	Level   int     `json:"level"`
+	Nodes   int     `json:"nodes"`
+	MinRank int     `json:"min_rank"`
+	MaxRank int     `json:"max_rank"`
+	AvgRank float64 `json:"avg_rank"`
 }
 
 // Build constructs an H² representation of the kernel matrix over pts.
@@ -102,6 +127,9 @@ type BuildStats struct {
 func Build(pts *pointset.Points, k kernel.Pairwise, cfg Config) (*Matrix, error) {
 	if pts.Len() == 0 {
 		return nil, fmt.Errorf("core: empty point set")
+	}
+	if v := cfg.RelTol; v != 0 && (math.IsNaN(v) || v < 0 || v >= 1) {
+		return nil, fmt.Errorf("core: RelTol must be in (0, 1), got %g", v)
 	}
 	cfg = cfg.withDefaults(pts.Dim)
 	start := time.Now()
@@ -164,8 +192,31 @@ func Build(pts *pointset.Points, k kernel.Pairwise, cfg Config) (*Matrix, error)
 	}
 
 	m.finishStats()
+	if cfg.RelTol > 0 {
+		m.stats.RelTol = cfg.RelTol
+		m.stats.EstRelErr = m.aPosterioriError()
+	}
 	m.stats.Total = time.Since(start)
 	return m, nil
+}
+
+// relTolProbeSeed drives the deterministic probe vector and row choice of
+// the a-posteriori estimate, so identical builds report identical errors.
+const relTolProbeSeed = 0x5eed
+
+// aPosterioriError runs the paper's sampled error estimator against the
+// freshly built matrix: apply Â to a deterministic Gaussian probe vector and
+// compare a handful of entries against exact dense kernel rows. This is the
+// error-controlled build's receipt — the achieved accuracy for the requested
+// RelTol, at the cost of DefaultErrorRows dense rows (O(rows·n) kernel
+// evaluations).
+func (m *Matrix) aPosterioriError() float64 {
+	rng := rand.New(rand.NewSource(relTolProbeSeed))
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	return m.EstimateRelError(b, DefaultErrorRows, relTolProbeSeed+1)
 }
 
 // finishStats fills the structural counters after construction.
@@ -187,6 +238,32 @@ func (m *Matrix) finishStats() {
 			m.stats.SumLeafRank += m.ranks[i]
 		}
 	}
+	m.stats.LevelRanks = m.levelRanks()
+}
+
+// levelRanks summarizes the achieved row-basis ranks per tree level.
+func (m *Matrix) levelRanks() []LevelRank {
+	out := make([]LevelRank, 0, len(m.Tree.Levels))
+	for l, level := range m.Tree.Levels {
+		if len(level) == 0 {
+			continue
+		}
+		lr := LevelRank{Level: l, Nodes: len(level), MinRank: m.ranks[level[0]]}
+		sum := 0
+		for _, id := range level {
+			r := m.ranks[id]
+			sum += r
+			if r < lr.MinRank {
+				lr.MinRank = r
+			}
+			if r > lr.MaxRank {
+				lr.MaxRank = r
+			}
+		}
+		lr.AvgRank = float64(sum) / float64(len(level))
+		out = append(out, lr)
+	}
+	return out
 }
 
 // Stats returns the construction statistics.

@@ -26,10 +26,13 @@ import (
 
 // serialMagic identifies the file format; serialVersion is bumped on any
 // incompatible change. Version 2 added Config.StorageBudget (hybrid mode);
-// version-1 streams are still readable and imply a zero budget.
+// version 3 added Config.RelTol and the a-posteriori error estimate of
+// error-controlled builds (per-level ranks are recomputed from the per-node
+// ranks at load). Version 1 and 2 streams are still readable and imply a
+// zero budget / a fixed-parameter build.
 const (
 	serialMagic      = "H2DS"
-	serialVersion    = uint32(2)
+	serialVersion    = uint32(3)
 	serialVersionMin = uint32(1)
 )
 
@@ -188,6 +191,8 @@ func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
 	s.writeI64(m.Cfg.SampleBudget)
 	s.writeI64(m.Cfg.P)
 	s.write(m.Cfg.StorageBudget)
+	s.write(m.Cfg.RelTol)
+	s.write(m.stats.EstRelErr)
 	s.write(m.sharedBasis)
 	s.writeI64(m.N)
 	s.writeI64(m.Dim)
@@ -309,6 +314,11 @@ func readBody(s *serialReader, k kernel.Pairwise, version uint32) (*Matrix, erro
 	m.Cfg.P = s.readI64()
 	if version >= 2 {
 		s.read(&m.Cfg.StorageBudget)
+	}
+	if version >= 3 {
+		s.read(&m.Cfg.RelTol)
+		s.read(&m.stats.EstRelErr)
+		m.stats.RelTol = m.Cfg.RelTol
 	}
 	s.read(&m.sharedBasis)
 	m.N = s.readI64()
@@ -447,6 +457,9 @@ func readBody(s *serialReader, k kernel.Pairwise, version uint32) (*Matrix, erro
 // validateLoaded sanity-checks cross-references after deserialization so a
 // corrupt stream fails loudly instead of panicking later.
 func (m *Matrix) validateLoaded() error {
+	if v := m.Cfg.RelTol; math.IsNaN(v) || v < 0 || v >= 1 {
+		return fmt.Errorf("core: corrupt reltol %g", v)
+	}
 	nNodes := len(m.Tree.Nodes)
 	for id := 0; id < nNodes; id++ {
 		nd := &m.Tree.Nodes[id]

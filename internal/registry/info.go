@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"h2ds/internal/core"
 	"h2ds/internal/serve"
 )
 
@@ -17,6 +18,8 @@ type counters struct {
 	rehydrations    atomic.Int64
 	swapDrains      atomic.Int64
 	downgrades      atomic.Int64
+
+	spillCleanupErrors atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of the registry's lifecycle counters.
@@ -30,6 +33,12 @@ type Stats struct {
 	SwapDrains      int64 `json:"swap_drains"`
 	Downgrades      int64 `json:"downgrades"` // budget overages resolved by hybrid storage shrink instead of eviction
 
+	// SpillCleanupErrors counts spill files that could not be removed when
+	// their instance was deleted, rebuilt, or rehydrated. Each one is leaked
+	// disk in the spill dir; a growing count means the dir needs operator
+	// attention (permissions, immutable files).
+	SpillCleanupErrors int64 `json:"spill_cleanup_errors"`
+
 	QueueDepth int   `json:"queue_depth"` // builds accepted but not yet started
 	Instances  int   `json:"instances"`
 	Ready      int   `json:"ready"`
@@ -40,15 +49,16 @@ type Stats struct {
 // Stats returns a snapshot of the registry counters.
 func (r *Registry) Stats() Stats {
 	s := Stats{
-		BuildsStarted:   r.st.buildsStarted.Load(),
-		BuildsSucceeded: r.st.buildsSucceeded.Load(),
-		BuildsFailed:    r.st.buildsFailed.Load(),
-		Evictions:       r.st.evictions.Load(),
-		Rehydrations:    r.st.rehydrations.Load(),
-		SwapDrains:      r.st.swapDrains.Load(),
-		Downgrades:      r.st.downgrades.Load(),
-		QueueDepth:      len(r.queue),
-		MemBudget:       r.cfg.MemBudget,
+		BuildsStarted:      r.st.buildsStarted.Load(),
+		BuildsSucceeded:    r.st.buildsSucceeded.Load(),
+		BuildsFailed:       r.st.buildsFailed.Load(),
+		Evictions:          r.st.evictions.Load(),
+		Rehydrations:       r.st.rehydrations.Load(),
+		SwapDrains:         r.st.swapDrains.Load(),
+		Downgrades:         r.st.downgrades.Load(),
+		SpillCleanupErrors: r.st.spillCleanupErrors.Load(),
+		QueueDepth:         len(r.queue),
+		MemBudget:          r.cfg.MemBudget,
 	}
 	r.mu.Lock()
 	insts := make([]*instance, 0, len(r.items))
@@ -87,6 +97,14 @@ type Info struct {
 	Mode     string `json:"mode,omitempty"`
 	Basis    string `json:"basis,omitempty"`
 	MemBytes int64  `json:"mem_bytes,omitempty"`
+
+	// Error-controlled build reporting (reltol builds only): the requested
+	// tolerance, the build-time a-posteriori error estimate, and the achieved
+	// per-level rank summary.
+	RelTol     float64          `json:"reltol,omitempty"`
+	EstRelErr  float64          `json:"est_relerr,omitempty"`
+	MaxRank    int              `json:"max_rank,omitempty"`
+	LevelRanks []core.LevelRank `json:"level_ranks,omitempty"`
 
 	Spilled bool `json:"spilled,omitempty"` // evicted with a spill file: next Apply rehydrates
 
@@ -127,6 +145,13 @@ func (in *instance) info() Info {
 		inf.Kernel = m.Kern.Name()
 		inf.Mode = m.Cfg.Mode.String()
 		inf.Basis = m.Cfg.Kind.String()
+		bs := m.Stats()
+		inf.MaxRank = bs.MaxRank
+		inf.RelTol = bs.RelTol
+		inf.EstRelErr = bs.EstRelErr
+		if bs.RelTol > 0 {
+			inf.LevelRanks = bs.LevelRanks
+		}
 		st := in.cur.b.Stats()
 		inf.Serve = &st
 	}

@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -110,6 +111,10 @@ var (
 	// serve and will not become serveable on their own (failed builds,
 	// evictions without a spill file).
 	ErrNotReady = errors.New("registry: instance not ready")
+	// ErrInvalidSpec wraps synchronous Create rejections — bad names and
+	// specs that can never build (unknown enums, out-of-range tolerances) —
+	// so HTTP layers can map them to 400 rather than 500.
+	ErrInvalidSpec = errors.New("registry: invalid spec")
 )
 
 // Config tunes a Registry. The zero value is usable.
@@ -263,11 +268,11 @@ func New(cfg Config) *Registry {
 // the old one drained. Redeclaring a Failed or Evicted name rebuilds it.
 func (r *Registry) Create(name string, spec BuildSpec) error {
 	if err := checkName(name); err != nil {
-		return err
+		return fmt.Errorf("%w: %v", ErrInvalidSpec, err)
 	}
 	spec = spec.withDefaults()
 	if err := spec.validate(); err != nil {
-		return err
+		return fmt.Errorf("%w: %v", ErrInvalidSpec, err)
 	}
 
 	r.mu.Lock()
@@ -488,7 +493,7 @@ func (r *Registry) finishReady(job *buildJob, m *core.Matrix) {
 	if spill != "" {
 		// The instance is live again (rebuilt or rehydrated); the spill file
 		// is untracked from here on, so remove it rather than leak it.
-		os.Remove(spill)
+		r.removeSpill(spill)
 	}
 	r.enforceBudget()
 }
@@ -661,7 +666,7 @@ func (r *Registry) Delete(name string) error {
 		old.drain()
 	}
 	if spill != "" {
-		os.Remove(spill)
+		r.removeSpill(spill)
 	}
 	return nil
 }
@@ -795,7 +800,7 @@ func (r *Registry) evict(inst *instance, old *version) {
 	if inst.state == StateEvicted && spillErr == nil {
 		inst.spillPath = spillPath
 	} else if spillPath != "" {
-		os.Remove(spillPath)
+		r.removeSpill(spillPath)
 	}
 	if spillErr != nil {
 		inst.err = spillErr
@@ -805,8 +810,11 @@ func (r *Registry) evict(inst *instance, old *version) {
 	r.st.evictions.Add(1)
 }
 
-// spill writes a matrix's generators to the spill dir (temp file + rename,
-// so a concurrent rehydration never sees a partial stream).
+// spill writes a matrix's generators to the spill dir (temp file + fsync +
+// rename + dir fsync, so a concurrent rehydration never sees a partial
+// stream and a crash right after eviction cannot leave an empty or
+// half-written file behind the final name — the matrix memory is already
+// gone at that point, so a torn spill is data loss, not a cache miss).
 func (r *Registry) spill(name string, m *core.Matrix) (string, error) {
 	if err := os.MkdirAll(r.cfg.SpillDir, 0o755); err != nil {
 		return "", err
@@ -821,6 +829,11 @@ func (r *Registry) spill(name string, m *core.Matrix) (string, error) {
 		os.Remove(tmp.Name())
 		return "", err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return "", err
@@ -829,7 +842,31 @@ func (r *Registry) spill(name string, m *core.Matrix) (string, error) {
 		os.Remove(tmp.Name())
 		return "", err
 	}
+	if err := syncDir(r.cfg.SpillDir); err != nil {
+		return "", err
+	}
 	return final, nil
+}
+
+// syncDir fsyncs a directory so a preceding rename in it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// removeSpill deletes a spill file that is no longer tracked. Failures leak
+// disk, not correctness, so they are logged and counted
+// (Stats.SpillCleanupErrors) rather than propagated; an already-gone file is
+// not an error.
+func (r *Registry) removeSpill(path string) {
+	if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		r.st.spillCleanupErrors.Add(1)
+		log.Printf("registry: spill cleanup of %s failed: %v", path, err)
+	}
 }
 
 // Close shuts the registry down: admissions and creations stop, queued and

@@ -3,6 +3,7 @@ package registry
 import (
 	"context"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"strings"
@@ -24,6 +25,7 @@ type BuildSpec struct {
 	N       int     `json:"n,omitempty"`       // points (default 20000)
 	Dim     int     `json:"dim,omitempty"`     // dimension, cube only (default 3)
 	Tol     float64 `json:"tol,omitempty"`     // target relative accuracy (default 1e-6)
+	RelTol  float64 `json:"reltol,omitempty"`  // error-controlled build tolerance (0 = fixed-parameter build)
 	Basis   string  `json:"basis,omitempty"`   // "dd" or "interp" (default "dd")
 	Mem     string  `json:"mem,omitempty"`     // "normal", "otf", or "hybrid" (default "otf")
 	Leaf    int     `json:"leaf,omitempty"`    // leaf size (0 = core default)
@@ -106,8 +108,16 @@ func (sp BuildSpec) validate() error {
 	if sp.N < 1 {
 		return fmt.Errorf("registry: n must be positive, got %d", sp.N)
 	}
-	if sp.Tol < 0 {
-		return fmt.Errorf("registry: negative tolerance %g", sp.Tol)
+	// Both tolerances must be a real number in [0, 1): zero means "use the
+	// default" (tol) or "disabled" (reltol), and a tolerance of 1 or more is
+	// meaningless for a relative accuracy target. NaN in particular would
+	// otherwise slide through every float comparison and build a garbage
+	// matrix.
+	if v := sp.Tol; math.IsNaN(v) || v < 0 || v >= 1 {
+		return fmt.Errorf("registry: tol must be in (0, 1), got %g", v)
+	}
+	if v := sp.RelTol; math.IsNaN(v) || v < 0 || v >= 1 {
+		return fmt.Errorf("registry: reltol must be in (0, 1), got %g", v)
 	}
 	return nil
 }
@@ -151,7 +161,7 @@ func DefaultBuild(ctx context.Context, sp BuildSpec, setStage func(string)) (*co
 		return nil, err
 	}
 	cfg := core.Config{
-		Tol: sp.Tol, LeafSize: sp.Leaf, Workers: sp.Workers, Sampler: s,
+		Tol: sp.Tol, RelTol: sp.RelTol, LeafSize: sp.Leaf, Workers: sp.Workers, Sampler: s,
 	}
 	switch sp.Basis {
 	case "dd":

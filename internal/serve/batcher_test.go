@@ -401,3 +401,67 @@ func TestHistQuantiles(t *testing.T) {
 		t.Fatalf("zero-value observation p50 = %d, want 2", got)
 	}
 }
+
+// TestDeadlineExpiresBetweenPackAndFlush covers the window the deadline
+// semantics doc promises is safe: a request whose batch has already been
+// handed to a flush worker, whose deadline expires while the worker is
+// stalled ahead of packing. The request must be dropped at pack time and
+// counted in dropped_deadline exactly once, and the flush must still
+// complete for its batch-mates.
+func TestDeadlineExpiresBetweenPackAndFlush(t *testing.T) {
+	m := testMatrix(t)
+	s, release := stallFlushes(m, Config{MaxBatch: 2, FlushWindow: time.Hour})
+	defer s.Close()
+	b := randVec(m.N, 6)
+	want := m.Apply(b)
+
+	// Request 1: short deadline. Request 2: no deadline, same batch.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	expiredErr := make(chan error, 1)
+	go func() {
+		_, err := s.Apply(ctx, b)
+		expiredErr <- err
+	}()
+	type liveRes struct {
+		y   []float64
+		err error
+	}
+	liveCh := make(chan liveRes, 1)
+	go func() {
+		y, err := s.Apply(context.Background(), b)
+		liveCh <- liveRes{y, err}
+	}()
+
+	// The caller observes its deadline while the batch sits stalled in the
+	// flush worker; only then is the worker released, so the expiry is
+	// guaranteed to land between pack and flush.
+	if err := <-expiredErr; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired apply err = %v, want DeadlineExceeded", err)
+	}
+	release()
+
+	res := <-liveCh
+	if res.err != nil {
+		t.Fatalf("batch-mate failed: %v", res.err)
+	}
+	if d := maxRelDiff(want, res.y); d > 1e-14 {
+		t.Fatalf("batch-mate result corrupted: reldiff %g", d)
+	}
+
+	// The drop is accounted exactly once, after the flush drains.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st := s.Stats()
+		if st.Pending == 0 {
+			if st.DroppedDeadline != 1 || st.Served != 1 || st.Batches != 1 || st.Submitted != 2 {
+				t.Fatalf("pack-window drop accounting wrong: %+v", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pipeline never drained: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
