@@ -1,0 +1,85 @@
+// Command h2cluster fronts a fleet of h2serve nodes as one logical matvec
+// service. It owns the consistent-hash ring mapping matrix names to owner
+// nodes, proxies the single-node /matrices wire protocol to the right
+// holder, replicates new builds to read replicas over the serialized
+// spill-file format, fans reads across owner+replicas with
+// readiness-checked failover, and coordinates sharded scatter/gather
+// applies that split one product across the holders of a tenant.
+//
+// Every h2serve process is already a capable cluster node (it mounts the
+// /cluster/* peer endpoints); h2cluster adds only the routing layer:
+//
+//	h2serve -addr :8081 &     h2serve -addr :8082 &     h2serve -addr :8083 &
+//	h2cluster -addr :8080 -members http://localhost:8081,http://localhost:8082,http://localhost:8083
+//
+//	curl -s localhost:8080/matrices -d '{"name":"g","spec":{"kernel":"gaussian","n":5000}}'
+//	curl -s localhost:8080/cluster/route/g          # owner, replicas, replication status
+//	curl -s localhost:8080/matrices/g/apply -d '{"b": [...]}'
+//	curl -s localhost:8080/matrices/g/shardapply -d '{"b": [...], "nshards": 2}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"h2ds/internal/cluster"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "h2cluster: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	members := flag.String("members", "", "comma-separated node base URLs (e.g. http://10.0.0.1:8081,...)")
+	replicas := flag.Int("replicas", 2, "nodes holding each matrix, owner included (1 = no replication)")
+	vnodes := flag.Int("vnodes", cluster.DefaultVnodes, "virtual nodes per member on the hash ring")
+	timeout := flag.Duration("timeout", 60*time.Second, "per proxied request deadline")
+	healthTTL := flag.Duration("healthttl", 2*time.Second, "readiness probe cache lifetime")
+	flag.Parse()
+
+	var mlist []string
+	for _, m := range strings.Split(*members, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			mlist = append(mlist, strings.TrimRight(m, "/"))
+		}
+	}
+	if len(mlist) == 0 {
+		return fmt.Errorf("no members: pass -members with at least one node URL")
+	}
+
+	rt := cluster.NewRouter(cluster.RouterConfig{
+		Members:   mlist,
+		Replicas:  *replicas,
+		Vnodes:    *vnodes,
+		Timeout:   *timeout,
+		HealthTTL: *healthTTL,
+	})
+	srv := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("h2cluster: routing %d members on %s (replicas=%d vnodes=%d)\n",
+		len(mlist), *addr, *replicas, *vnodes)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("h2cluster: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutCtx)
+}

@@ -1,52 +1,35 @@
 package main
 
 import (
-	"context"
-	"encoding/json"
-	"errors"
-	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"time"
 
-	"h2ds/internal/core"
+	"h2ds/internal/api"
+	"h2ds/internal/cluster"
 	"h2ds/internal/registry"
-	"h2ds/internal/serve"
 )
 
-// DefaultInstance is the registry name the bare /apply and /stats endpoints
-// alias, preserving the single-matrix wire protocol of earlier h2serve
-// versions.
-const DefaultInstance = "default"
+// DefaultInstance aliases the registry name served by the bare /apply and
+// /stats endpoints.
+const DefaultInstance = api.DefaultInstance
 
-// newServer builds the HTTP surface over a registry. timeout bounds each
-// apply request (0 = none, beyond the client's own context).
-//
-//	POST   /matrices              create or rebuild (hot-swap) an instance
-//	GET    /matrices              list instances with state and counters
-//	GET    /matrices/{name}       one instance
-//	POST   /matrices/{name}/apply y = A b through the instance's batcher
-//	DELETE /matrices/{name}       remove an instance
-//	POST   /apply                 alias: apply on "default"
-//	GET    /stats                 alias: "default" shape + registry counters
-//	GET    /healthz               liveness
-//	/debug/pprof/*                CPU/heap/etc profiles (only with -pprof)
+// Wire-format aliases; the canonical definitions live in internal/api so the
+// cluster router speaks the same protocol.
+type (
+	createRequest = api.CreateRequest
+	applyRequest  = api.ApplyRequest
+	applyResponse = api.ApplyResponse
+)
+
+// newServer builds the HTTP surface over a registry: the internal/api
+// matrices endpoints, the cluster peer endpoints (/cluster/*, so any h2serve
+// process can act as a cluster node), and optionally pprof. timeout bounds
+// each apply request (0 = none, beyond the client's own context).
 func newServer(reg *registry.Registry, timeout time.Duration, enablePprof bool) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /matrices", createHandler(reg))
-	mux.HandleFunc("GET /matrices", listHandler(reg))
-	mux.HandleFunc("GET /matrices/{name}", getHandler(reg))
-	mux.HandleFunc("POST /matrices/{name}/apply", func(w http.ResponseWriter, r *http.Request) {
-		applyTo(reg, r.PathValue("name"), timeout, w, r)
-	})
-	mux.HandleFunc("DELETE /matrices/{name}", deleteHandler(reg))
-	mux.HandleFunc("POST /apply", func(w http.ResponseWriter, r *http.Request) {
-		applyTo(reg, DefaultInstance, timeout, w, r)
-	})
-	mux.HandleFunc("GET /stats", statsHandler(reg))
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	api.Mount(mux, reg, timeout)
+	cluster.NewNode(reg, timeout).Mount(mux)
 	if enablePprof {
 		// Mounted explicitly: the blank net/http/pprof import only registers
 		// on http.DefaultServeMux, which this server does not use.
@@ -57,167 +40,4 @@ func newServer(reg *registry.Registry, timeout time.Duration, enablePprof bool) 
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
-}
-
-// createRequest is the POST /matrices wire format: a name plus the same
-// build knobs as the command line, or a path to load from.
-type createRequest struct {
-	Name string             `json:"name"`
-	Spec registry.BuildSpec `json:"spec"`
-}
-
-// applyRequest and applyResponse are the apply wire format.
-type applyRequest struct {
-	B []float64 `json:"b"`
-}
-
-type applyResponse struct {
-	Y []float64 `json:"y"`
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
-}
-
-// registryError maps registry sentinel errors onto HTTP statuses.
-func registryError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, registry.ErrInvalidSpec):
-		// Synchronous spec rejection (bad name, NaN/out-of-range tolerance,
-		// unknown enum): the body carries the specific validation failure.
-		http.Error(w, err.Error(), http.StatusBadRequest)
-	case errors.Is(err, registry.ErrNotFound):
-		http.Error(w, err.Error(), http.StatusNotFound)
-	case errors.Is(err, registry.ErrBusy):
-		http.Error(w, err.Error(), http.StatusConflict)
-	case errors.Is(err, registry.ErrQueueFull),
-		errors.Is(err, registry.ErrClosed),
-		errors.Is(err, serve.ErrQueueFull),
-		errors.Is(err, serve.ErrClosed):
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-	case errors.Is(err, registry.ErrNotReady):
-		// Failed build or spill-less eviction: the client must fix the spec
-		// or re-create, so a conflict rather than a retryable 503.
-		http.Error(w, err.Error(), http.StatusConflict)
-	case errors.Is(err, context.DeadlineExceeded):
-		http.Error(w, err.Error(), http.StatusGatewayTimeout)
-	default:
-		http.Error(w, err.Error(), http.StatusBadRequest)
-	}
-}
-
-func createHandler(reg *registry.Registry) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		var req createRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		if err := reg.Create(req.Name, req.Spec); err != nil {
-			registryError(w, err)
-			return
-		}
-		inf, _ := reg.Get(req.Name)
-		writeJSON(w, http.StatusAccepted, inf)
-	}
-}
-
-func listHandler(reg *registry.Registry) http.HandlerFunc {
-	return func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, struct {
-			Instances []registry.Info `json:"instances"`
-			Registry  registry.Stats  `json:"registry"`
-		}{reg.List(), reg.Stats()})
-	}
-}
-
-func getHandler(reg *registry.Registry) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		inf, ok := reg.Get(r.PathValue("name"))
-		if !ok {
-			http.Error(w, "no such instance", http.StatusNotFound)
-			return
-		}
-		writeJSON(w, http.StatusOK, inf)
-	}
-}
-
-func deleteHandler(reg *registry.Registry) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if err := reg.Delete(r.PathValue("name")); err != nil {
-			registryError(w, err)
-			return
-		}
-		w.WriteHeader(http.StatusNoContent)
-	}
-}
-
-// applyTo serves one product through the named instance. The registry waits
-// out Pending/Building states (bounded by the request deadline), so a client
-// may POST right after creating an instance and block until it serves.
-func applyTo(reg *registry.Registry, name string, timeout time.Duration, w http.ResponseWriter, r *http.Request) {
-	var req applyRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	ctx := r.Context()
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
-	}
-	y, err := reg.Apply(ctx, name, req.B)
-	if err != nil {
-		if errors.Is(err, context.Canceled) {
-			return // client went away; nothing useful to write
-		}
-		registryError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, applyResponse{Y: y})
-}
-
-// statsHandler reports the default instance's matrix shape, serve counters
-// (kernel and shape read from the instance's own matrix, so a hot-swap is
-// reflected immediately), the cumulative per-sweep stage timings of its
-// matvecs, and the registry counters.
-func statsHandler(reg *registry.Registry) http.HandlerFunc {
-	type matrixInfo struct {
-		N      int    `json:"n"`
-		Dim    int    `json:"dim"`
-		Kernel string `json:"kernel"`
-		Mode   string `json:"mode"`
-		Basis  string `json:"basis"`
-
-		// Error-controlled build reporting (reltol builds only).
-		RelTol     float64          `json:"reltol,omitempty"`
-		EstRelErr  float64          `json:"est_relerr,omitempty"`
-		MaxRank    int              `json:"max_rank,omitempty"`
-		LevelRanks []core.LevelRank `json:"level_ranks,omitempty"`
-	}
-	return func(w http.ResponseWriter, _ *http.Request) {
-		out := struct {
-			Matrix   *matrixInfo      `json:"matrix,omitempty"`
-			Serve    *serve.Stats     `json:"serve,omitempty"`
-			Sweeps   *core.SweepStats `json:"sweeps,omitempty"`
-			Registry registry.Stats   `json:"registry"`
-		}{Registry: reg.Stats()}
-		if inf, ok := reg.Get(DefaultInstance); ok && inf.Serve != nil {
-			out.Matrix = &matrixInfo{
-				N: inf.N, Dim: inf.Dim, Kernel: inf.Kernel,
-				Mode: inf.Mode, Basis: inf.Basis,
-				RelTol: inf.RelTol, EstRelErr: inf.EstRelErr,
-				MaxRank: inf.MaxRank, LevelRanks: inf.LevelRanks,
-			}
-			out.Serve = inf.Serve
-			if m, ok := reg.Matrix(DefaultInstance); ok {
-				sw := m.SweepStats()
-				out.Sweeps = &sw
-			}
-		}
-		writeJSON(w, http.StatusOK, out)
-	}
 }

@@ -1,0 +1,240 @@
+// Package api is the single-node HTTP surface over a registry: the
+// /matrices lifecycle endpoints, the default-instance aliases, and the
+// health/readiness probes. cmd/h2serve mounts it directly; internal/cluster
+// mounts the same surface on every node so the router can speak one wire
+// protocol to owners and replicas alike.
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"h2ds/internal/core"
+	"h2ds/internal/registry"
+	"h2ds/internal/serve"
+)
+
+// DefaultInstance is the registry name the bare /apply and /stats endpoints
+// alias, preserving the single-matrix wire protocol of earlier h2serve
+// versions.
+const DefaultInstance = "default"
+
+// CreateRequest is the POST /matrices wire format: a name plus the same
+// build knobs as the command line, or a path to load from.
+type CreateRequest struct {
+	Name string             `json:"name"`
+	Spec registry.BuildSpec `json:"spec"`
+}
+
+// ApplyRequest and ApplyResponse are the apply wire format.
+type ApplyRequest struct {
+	B []float64 `json:"b"`
+}
+
+type ApplyResponse struct {
+	Y []float64 `json:"y"`
+}
+
+// Readiness is the GET /readyz wire format: a coarse ok bit plus the full
+// registry snapshot (build-queue depth, instance counts by state, memory
+// headroom). The cluster router reads it when selecting replicas, preferring
+// nodes with spare build capacity.
+type Readiness struct {
+	OK       bool           `json:"ok"`
+	Registry registry.Stats `json:"registry"`
+}
+
+// Mount registers the registry endpoints on mux. timeout bounds each apply
+// request (0 = none, beyond the client's own context).
+//
+//	POST   /matrices              create or rebuild (hot-swap) an instance
+//	GET    /matrices              list instances with state and counters
+//	GET    /matrices/{name}       one instance
+//	POST   /matrices/{name}/apply y = A b through the instance's batcher
+//	DELETE /matrices/{name}       remove an instance
+//	POST   /apply                 alias: apply on "default"
+//	GET    /stats                 alias: "default" shape + registry counters
+//	GET    /healthz               liveness
+//	GET    /readyz                readiness: queue depth, states, headroom
+func Mount(mux *http.ServeMux, reg *registry.Registry, timeout time.Duration) {
+	mux.HandleFunc("POST /matrices", CreateHandler(reg))
+	mux.HandleFunc("GET /matrices", ListHandler(reg))
+	mux.HandleFunc("GET /matrices/{name}", GetHandler(reg))
+	mux.HandleFunc("POST /matrices/{name}/apply", func(w http.ResponseWriter, r *http.Request) {
+		ApplyTo(reg, r.PathValue("name"), timeout, w, r)
+	})
+	mux.HandleFunc("DELETE /matrices/{name}", DeleteHandler(reg))
+	mux.HandleFunc("POST /apply", func(w http.ResponseWriter, r *http.Request) {
+		ApplyTo(reg, DefaultInstance, timeout, w, r)
+	})
+	mux.HandleFunc("GET /stats", StatsHandler(reg))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", ReadyzHandler(reg))
+}
+
+// WriteJSON writes v as a JSON response with the given status code.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// Error maps registry sentinel errors onto HTTP statuses.
+func Error(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, registry.ErrInvalidSpec):
+		// Synchronous spec rejection (bad name, NaN/out-of-range tolerance,
+		// unknown enum): the body carries the specific validation failure.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	case errors.Is(err, registry.ErrNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, registry.ErrBusy):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, registry.ErrQueueFull),
+		errors.Is(err, registry.ErrClosed),
+		errors.Is(err, serve.ErrQueueFull),
+		errors.Is(err, serve.ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, registry.ErrNotReady):
+		// Failed build or spill-less eviction: the client must fix the spec
+		// or re-create, so a conflict rather than a retryable 503.
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+// CreateHandler serves POST /matrices.
+func CreateHandler(reg *registry.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req CreateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := reg.Create(req.Name, req.Spec); err != nil {
+			Error(w, err)
+			return
+		}
+		inf, _ := reg.Get(req.Name)
+		WriteJSON(w, http.StatusAccepted, inf)
+	}
+}
+
+// ListHandler serves GET /matrices.
+func ListHandler(reg *registry.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		WriteJSON(w, http.StatusOK, struct {
+			Instances []registry.Info `json:"instances"`
+			Registry  registry.Stats  `json:"registry"`
+		}{reg.List(), reg.Stats()})
+	}
+}
+
+// GetHandler serves GET /matrices/{name}.
+func GetHandler(reg *registry.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		inf, ok := reg.Get(r.PathValue("name"))
+		if !ok {
+			http.Error(w, "no such instance", http.StatusNotFound)
+			return
+		}
+		WriteJSON(w, http.StatusOK, inf)
+	}
+}
+
+// DeleteHandler serves DELETE /matrices/{name}.
+func DeleteHandler(reg *registry.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := reg.Delete(r.PathValue("name")); err != nil {
+			Error(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+// ApplyTo serves one product through the named instance. The registry waits
+// out Pending/Building states (bounded by the request deadline), so a client
+// may POST right after creating an instance and block until it serves.
+func ApplyTo(reg *registry.Registry, name string, timeout time.Duration, w http.ResponseWriter, r *http.Request) {
+	var req ApplyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	y, err := reg.Apply(ctx, name, req.B)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return // client went away; nothing useful to write
+		}
+		Error(w, err)
+		return
+	}
+	WriteJSON(w, http.StatusOK, ApplyResponse{Y: y})
+}
+
+// ReadyzHandler serves GET /readyz: always 200 while the process can answer,
+// with the registry snapshot for routers to rank nodes by. A node that is
+// down simply fails the request — that, not a status code, is the
+// not-ready signal.
+func ReadyzHandler(reg *registry.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		WriteJSON(w, http.StatusOK, Readiness{OK: true, Registry: reg.Stats()})
+	}
+}
+
+// StatsHandler reports the default instance's matrix shape, serve counters
+// (kernel and shape read from the instance's own matrix, so a hot-swap is
+// reflected immediately), the cumulative per-sweep stage timings of its
+// matvecs, and the registry counters.
+func StatsHandler(reg *registry.Registry) http.HandlerFunc {
+	type matrixInfo struct {
+		N      int    `json:"n"`
+		Dim    int    `json:"dim"`
+		Kernel string `json:"kernel"`
+		Mode   string `json:"mode"`
+		Basis  string `json:"basis"`
+
+		// Error-controlled build reporting (reltol builds only).
+		RelTol     float64          `json:"reltol,omitempty"`
+		EstRelErr  float64          `json:"est_relerr,omitempty"`
+		MaxRank    int              `json:"max_rank,omitempty"`
+		LevelRanks []core.LevelRank `json:"level_ranks,omitempty"`
+	}
+	return func(w http.ResponseWriter, _ *http.Request) {
+		out := struct {
+			Matrix   *matrixInfo      `json:"matrix,omitempty"`
+			Serve    *serve.Stats     `json:"serve,omitempty"`
+			Sweeps   *core.SweepStats `json:"sweeps,omitempty"`
+			Registry registry.Stats   `json:"registry"`
+		}{Registry: reg.Stats()}
+		if inf, ok := reg.Get(DefaultInstance); ok && inf.Serve != nil {
+			out.Matrix = &matrixInfo{
+				N: inf.N, Dim: inf.Dim, Kernel: inf.Kernel,
+				Mode: inf.Mode, Basis: inf.Basis,
+				RelTol: inf.RelTol, EstRelErr: inf.EstRelErr,
+				MaxRank: inf.MaxRank, LevelRanks: inf.LevelRanks,
+			}
+			out.Serve = inf.Serve
+			if m, ok := reg.Matrix(DefaultInstance); ok {
+				sw := m.SweepStats()
+				out.Sweeps = &sw
+			}
+		}
+		WriteJSON(w, http.StatusOK, out)
+	}
+}

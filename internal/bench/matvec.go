@@ -42,6 +42,12 @@ type MatvecReport struct {
 	// experiment): requested tolerance vs achieved rank, memory, and
 	// measured error. Owned by RelTolSweep; MatvecJSON preserves it.
 	RelTolSweep []RelTolRun `json:"reltol_sweep,omitempty"`
+
+	// Cluster is the multi-node routed-apply trajectory (the cluster
+	// experiment): latency and throughput through the router, sharded
+	// scatter/gather, and the direct single-node baseline. Owned by
+	// ClusterBench; MatvecJSON preserves it.
+	Cluster []ClusterRun `json:"cluster,omitempty"`
 }
 
 // matvecCases returns the (n, leaf) grid for the given scale. The small-n
@@ -146,12 +152,13 @@ func MatvecJSON(opt Options) error {
 	if path == "" {
 		path = "BENCH_matvec.json"
 	}
-	// Carry over the reltol experiment's section from a previous run of the
+	// Carry over the other experiments' sections from a previous run of the
 	// same file; this experiment only owns the matvec rows.
 	if buf, err := os.ReadFile(path); err == nil {
 		var old MatvecReport
 		if json.Unmarshal(buf, &old) == nil {
 			rep.RelTolSweep = old.RelTolSweep
+			rep.Cluster = old.Cluster
 		}
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func names(k int) []string {
+	out := make([]string, k)
+	for i := range out {
+		out[i] = fmt.Sprintf("matrix-%04d", i)
+	}
+	return out
+}
+
+func nodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+// TestRingBalance checks the distribution over 1000 names for fleets of
+// 3..8 nodes: with DefaultVnodes virtual nodes every member's share must sit
+// within a factor of two of fair on both sides — loose enough to be stable
+// across hash functions, tight enough to catch a broken vnode loop (which
+// puts everything on one member).
+func TestRingBalance(t *testing.T) {
+	keys := names(1000)
+	for n := 3; n <= 8; n++ {
+		r := NewRing(0, nodes(n)...)
+		counts := make(map[string]int)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d members own keys", n, len(counts))
+		}
+		fair := float64(len(keys)) / float64(n)
+		for m, c := range counts {
+			if float64(c) < fair/2 || float64(c) > fair*2 {
+				t.Errorf("n=%d: member %s owns %d of %d keys (fair %.0f)", n, m, c, len(keys), fair)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovement: adding a member moves keys only TO it (never
+// between survivors), roughly its fair share; removing a member moves only
+// ITS keys, and every survivor's assignment is untouched.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := names(1000)
+	base := nodes(5)
+	r := NewRing(0, base...)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+
+	added := "http://10.0.0.99:8080"
+	r.Add(added)
+	moved := 0
+	for _, k := range keys {
+		o := r.Owner(k)
+		if o != before[k] {
+			moved++
+			if o != added {
+				t.Fatalf("key %s moved between survivors: %s -> %s", k, before[k], o)
+			}
+		}
+	}
+	// Fair share after the add is 1/6 ≈ 167; demand the movement is in a
+	// generous band around it, and in particular far below a full reshuffle.
+	if moved == 0 || moved > len(keys)/3 {
+		t.Fatalf("add moved %d of %d keys, want (0, %d]", moved, len(keys), len(keys)/3)
+	}
+
+	r.Remove(added)
+	for _, k := range keys {
+		if o := r.Owner(k); o != before[k] {
+			t.Fatalf("key %s not restored after remove: %s vs %s", k, o, before[k])
+		}
+	}
+
+	// Removing an original member: only its keys move.
+	victim := base[2]
+	r.Remove(victim)
+	for _, k := range keys {
+		o := r.Owner(k)
+		if before[k] == victim {
+			if o == victim {
+				t.Fatalf("key %s still owned by removed member", k)
+			}
+		} else if o != before[k] {
+			t.Fatalf("key %s moved although its owner survived: %s -> %s", k, before[k], o)
+		}
+	}
+}
+
+// TestRingDeterministicOwnership: placement is a pure function of the member
+// SET — insertion order must not matter, and repeated queries agree.
+func TestRingDeterministicOwnership(t *testing.T) {
+	keys := names(200)
+	members := nodes(6)
+	a := NewRing(0, members...)
+	shuffled := append([]string(nil), members...)
+	rand.New(rand.NewSource(42)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	b := NewRing(0, shuffled...)
+	for _, k := range keys {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %s depends on insertion order: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+		ao, bo := a.Owners(k, 3), b.Owners(k, 3)
+		for i := range ao {
+			if ao[i] != bo[i] {
+				t.Fatalf("replica set of %s depends on insertion order", k)
+			}
+		}
+	}
+}
+
+// TestRingOwnersDistinct: the replica walk yields distinct members, the
+// owner first, and clamps at the member count.
+func TestRingOwnersDistinct(t *testing.T) {
+	r := NewRing(0, nodes(4)...)
+	for _, k := range names(100) {
+		owners := r.Owners(k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("key %s: got %d owners, want 3", k, len(owners))
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("key %s: Owners[0] %s != Owner %s", k, owners[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %s: duplicate owner %s", k, o)
+			}
+			seen[o] = true
+		}
+		if all := r.Owners(k, 10); len(all) != 4 {
+			t.Fatalf("key %s: over-asking returned %d members, want 4", k, len(all))
+		}
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate rings.
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(0)
+	if o := r.Owner("x"); o != "" {
+		t.Fatalf("empty ring owner = %q", o)
+	}
+	if o := r.Owners("x", 2); o != nil {
+		t.Fatalf("empty ring owners = %v", o)
+	}
+	r.Add("http://a")
+	r.Add("http://a") // idempotent
+	if r.Len() != 1 {
+		t.Fatalf("duplicate add changed membership: %d", r.Len())
+	}
+	for _, k := range names(10) {
+		if o := r.Owner(k); o != "http://a" {
+			t.Fatalf("single-member ring owner = %q", o)
+		}
+	}
+	r.Remove("http://never-added") // idempotent no-op
+	if r.Len() != 1 {
+		t.Fatal("removing a non-member changed membership")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -28,13 +29,45 @@ import (
 // incompatible change. Version 2 added Config.StorageBudget (hybrid mode);
 // version 3 added Config.RelTol and the a-posteriori error estimate of
 // error-controlled builds (per-level ranks are recomputed from the per-node
-// ranks at load). Version 1 and 2 streams are still readable and imply a
-// zero budget / a fixed-parameter build.
+// ranks at load); version 4 appended an integrity footer (magic + CRC32-IEEE
+// of every preceding byte) so spill rehydration and cluster replication
+// transfers detect torn or corrupted payloads instead of mis-deserializing.
+// Versions 1–3 are still readable; they imply zero budget / fixed-parameter
+// build / no checksum verification respectively.
 const (
-	serialMagic      = "H2DS"
-	serialVersion    = uint32(3)
-	serialVersionMin = uint32(1)
+	serialMagic       = "H2DS"
+	serialFooterMagic = "H2CK"
+	serialVersion     = uint32(4)
+	serialVersionMin  = uint32(1)
 )
+
+// crcWriter tees everything written through it into a running CRC32-IEEE.
+// It sits between the buffered serializer and the destination so the footer
+// checksum covers the exact bytes that reach the stream.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// crcReader mirrors crcWriter on the load side: every body byte the
+// deserializer consumes updates the running checksum. The footer itself is
+// read from the underlying buffered reader, bypassing the checksum.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
 
 type serialWriter struct {
 	w   *bufio.Writer
@@ -90,8 +123,38 @@ func (s *serialWriter) writeDense(d *mat.Dense) {
 }
 
 type serialReader struct {
-	r   *bufio.Reader
+	// r delivers body bytes through the checksum; br is the underlying
+	// buffered reader the footer is read from directly.
+	r   io.Reader
+	br  *bufio.Reader
+	crc *crcReader
 	err error
+}
+
+func newSerialReader(r io.Reader) *serialReader {
+	br := bufio.NewReader(r)
+	cr := &crcReader{r: br}
+	return &serialReader{r: cr, br: br, crc: cr}
+}
+
+// verifyFooter consumes the version-4 integrity footer and compares it with
+// the checksum accumulated over every body byte read so far.
+func (s *serialReader) verifyFooter() error {
+	if s.err != nil {
+		return s.err
+	}
+	sum := s.crc.crc
+	var foot [8]byte
+	if _, err := io.ReadFull(s.br, foot[:]); err != nil {
+		return fmt.Errorf("core: truncated stream: missing checksum footer: %w", err)
+	}
+	if string(foot[:4]) != serialFooterMagic {
+		return fmt.Errorf("core: corrupt stream: bad checksum footer magic %q", foot[:4])
+	}
+	if stored := binary.LittleEndian.Uint32(foot[4:]); stored != sum {
+		return fmt.Errorf("core: corrupt stream: checksum mismatch (stored %08x computed %08x)", stored, sum)
+	}
+	return nil
 }
 
 func (s *serialReader) read(v any) {
@@ -177,7 +240,8 @@ func (s *serialReader) readDense() *mat.Dense {
 // WriteTo serializes the matrix generators (not the kernel, which is code).
 // It implements io.WriterTo.
 func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
-	s := &serialWriter{w: bufio.NewWriter(w)}
+	cw := &crcWriter{w: w}
+	s := &serialWriter{w: bufio.NewWriter(cw)}
 	s.writeString(serialMagic)
 	s.write(serialVersion)
 	s.writeString(m.Kern.Name())
@@ -246,6 +310,16 @@ func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
 	if s.err == nil {
 		s.err = s.w.Flush()
 	}
+	if s.err == nil {
+		// The footer goes to the raw destination: the checksum covers every
+		// byte before it, and the footer itself stays outside the sum.
+		var foot [8]byte
+		copy(foot[:4], serialFooterMagic)
+		binary.LittleEndian.PutUint32(foot[4:], cw.crc)
+		var n int
+		n, s.err = w.Write(foot[:])
+		s.n += int64(n)
+	}
 	return s.n, s.err
 }
 
@@ -270,7 +344,7 @@ func readHeader(s *serialReader) (string, uint32, error) {
 // nearfield blocks are re-assembled from the kernel (they are kernel
 // submatrices, so this is exact).
 func Read(r io.Reader, k kernel.Pairwise) (*Matrix, error) {
-	s := &serialReader{r: bufio.NewReader(r)}
+	s := newSerialReader(r)
 	kname, version, err := readHeader(s)
 	if err != nil {
 		return nil, err
@@ -287,7 +361,7 @@ func Read(r io.Reader, k kernel.Pairwise) (*Matrix, error) {
 // with the registry's unknown-kernel error; use Read with the explicit
 // kernel for those.
 func ReadAny(r io.Reader) (*Matrix, error) {
-	s := &serialReader{r: bufio.NewReader(r)}
+	s := newSerialReader(r)
 	kname, version, err := readHeader(s)
 	if err != nil {
 		return nil, err
@@ -418,6 +492,11 @@ func readBody(s *serialReader, k kernel.Pairwise, version uint32) (*Matrix, erro
 	}
 	if s.err != nil {
 		return nil, s.err
+	}
+	if version >= 4 {
+		if err := s.verifyFooter(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Rebuild derived state: identity index, skeleton point sets, grids.

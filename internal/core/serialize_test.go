@@ -171,6 +171,73 @@ func TestSerializeTruncatedStream(t *testing.T) {
 	}
 }
 
+// TestSerializeDetectsFlippedBytes is the torn/corrupt-transfer test for the
+// v4 checksum footer: flipping any single byte of a valid stream — including
+// deep inside the float payload, where every pre-v4 format version would
+// deserialize silently — must be rejected.
+func TestSerializeDetectsFlippedBytes(t *testing.T) {
+	pts := pointset.Cube(500, 3, 99)
+	m, err := Build(pts, kernel.Coulomb{}, Config{Kind: DataDriven, Mode: OnTheFly, Tol: 1e-4, LeafSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// A spread of offsets across the stream: the version word, coordinate
+	// float payload (offsets 200 and 1000 sit inside the 12000-byte coords
+	// block, low-order mantissa bytes a value check can never catch), and
+	// both halves of the footer. Offsets inside length headers are avoided —
+	// they fail too, but via over-long reads rather than the CRC.
+	offsets := []int{13, 200, 1000, len(full) - 6, len(full) - 3}
+	for _, off := range offsets {
+		corrupt := append([]byte(nil), full...)
+		corrupt[off] ^= 0x01
+		if _, err := Read(bytes.NewReader(corrupt), kernel.Coulomb{}); err == nil {
+			t.Fatalf("flipped byte at offset %d/%d accepted", off, len(full))
+		}
+	}
+	// Dropping the footer (a torn write that lost the tail) must also fail.
+	if _, err := Read(bytes.NewReader(full[:len(full)-8]), kernel.Coulomb{}); err == nil {
+		t.Fatal("stream with missing footer accepted")
+	}
+	// The untouched stream still loads.
+	if _, err := Read(bytes.NewReader(full), kernel.Coulomb{}); err != nil {
+		t.Fatalf("pristine stream rejected: %v", err)
+	}
+}
+
+// TestReadV3StreamCompat strips the v4 footer and patches the version word
+// down to 3: pre-checksum streams (existing spill files) must keep loading,
+// just without integrity verification.
+func TestReadV3StreamCompat(t *testing.T) {
+	pts := pointset.Cube(400, 3, 100)
+	b := randVec(400, 101)
+	m, err := Build(pts, kernel.Coulomb{}, Config{Kind: DataDriven, Mode: OnTheFly, Tol: 1e-4, LeafSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	v3 := append([]byte(nil), raw[:len(raw)-8]...)
+	v3[8+4] = 3 // little-endian uint32 version 4 -> 3 (after 8+4 byte magic string)
+	m2, err := Read(bytes.NewReader(v3), kernel.Coulomb{})
+	if err != nil {
+		t.Fatalf("v3 stream rejected: %v", err)
+	}
+	y1, y2 := m.Apply(b), m2.Apply(b)
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatalf("v3-compat matrix differs at %d", i)
+		}
+	}
+}
+
 func TestSerializeCorruptPermutation(t *testing.T) {
 	pts := pointset.Cube(200, 2, 98)
 	m, err := Build(pts, kernel.Coulomb{}, Config{Tol: 1e-4, LeafSize: 50})

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"testing"
+
+	"h2ds/internal/kernel"
+	"h2ds/internal/mat"
+	"h2ds/internal/pointset"
+)
+
+// TestShardPlanPartitionsTree checks the structural invariants every
+// participant relies on: the shard node sets plus the coordinator set
+// partition the tree, shard roots cover all points exactly once, and the
+// same parameters derive the same plan twice.
+func TestShardPlanPartitionsTree(t *testing.T) {
+	pts := pointset.Cube(2000, 3, 90)
+	m, err := Build(pts, kernel.Coulomb{}, Config{Kind: DataDriven, Mode: Normal, Tol: 1e-5, LeafSize: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nshards := range []int{1, 2, 3, 5} {
+		p, err := m.PlanShards(nshards, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NShards != len(p.Nodes) || p.NShards != len(p.Roots) {
+			t.Fatalf("nshards=%d: inconsistent plan sizes %d/%d/%d", nshards, p.NShards, len(p.Nodes), len(p.Roots))
+		}
+		seen := make([]int, len(m.Tree.Nodes))
+		for _, nodes := range p.Nodes {
+			for _, id := range nodes {
+				seen[id]++
+			}
+		}
+		for _, id := range p.Coord {
+			seen[id]++
+		}
+		for id, c := range seen {
+			if c != 1 {
+				t.Fatalf("nshards=%d: node %d covered %d times", nshards, id, c)
+			}
+		}
+		points := 0
+		for _, roots := range p.Roots {
+			for _, id := range roots {
+				points += m.Tree.Nodes[id].Size()
+			}
+		}
+		if points != m.N {
+			t.Fatalf("nshards=%d: roots own %d points want %d", nshards, points, m.N)
+		}
+		q, err := m.PlanShards(nshards, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range p.Nodes {
+			if len(q.Nodes[s]) != len(p.Nodes[s]) {
+				t.Fatalf("nshards=%d: non-deterministic plan", nshards)
+			}
+			for i := range p.Nodes[s] {
+				if q.Nodes[s][i] != p.Nodes[s][i] {
+					t.Fatalf("nshards=%d: non-deterministic plan", nshards)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedApplyBitwiseEqual is the distributed-correctness cornerstone:
+// scatter/gather through ApplyShard + ApplyGather must reproduce the
+// single-node product BITWISE for symmetric and unsymmetric kernels, in
+// plain, transpose, and batch form, at several shard counts — including the
+// coordinator's local-recompute fallback for a missing shard.
+func TestShardedApplyBitwiseEqual(t *testing.T) {
+	pts := pointset.Cube(1800, 3, 91)
+	n := pts.Len()
+	b := randVec(n, 92)
+	kerns := []kernel.Pairwise{kernel.Coulomb{}, drift3()}
+	for _, k := range kerns {
+		for _, mode := range []MemoryMode{Normal, OnTheFly} {
+			m, err := Build(pts, k, Config{Kind: DataDriven, Mode: mode, Tol: 1e-6, LeafSize: 50, Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := m.Apply(b)
+			wantT := m.ApplyTranspose(b)
+			B := mat.NewDense(n, 3)
+			for j := 0; j < 3; j++ {
+				col := randVec(n, 93+int64(j))
+				for i := 0; i < n; i++ {
+					B.Row(i)[j] = col[i]
+				}
+			}
+			wantB := m.ApplyBatch(B)
+
+			for _, nshards := range []int{1, 2, 4} {
+				p, err := m.PlanShards(nshards, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				parts := make([][]float64, p.NShards)
+				partsT := make([][]float64, p.NShards)
+				partsB := make([][]float64, p.NShards)
+				for s := 0; s < p.NShards; s++ {
+					if parts[s], err = m.ApplyShard(p, s, b, false); err != nil {
+						t.Fatal(err)
+					}
+					if partsT[s], err = m.ApplyShard(p, s, b, true); err != nil {
+						t.Fatal(err)
+					}
+					if partsB[s], err = m.ApplyBatchShard(p, s, B); err != nil {
+						t.Fatal(err)
+					}
+				}
+				got, err := m.ApplyGather(p, b, parts, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotT, err := m.ApplyGather(p, b, partsT, true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotB := mat.NewDense(0, 0)
+				if err := m.ApplyBatchGather(p, gotB, B, partsB); err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s/%v nshards=%d: apply differs at %d: %g != %g", k.Name(), mode, nshards, i, got[i], want[i])
+					}
+					if gotT[i] != wantT[i] {
+						t.Fatalf("%s/%v nshards=%d: transpose differs at %d: %g != %g", k.Name(), mode, nshards, i, gotT[i], wantT[i])
+					}
+				}
+				for i := range wantB.Data {
+					if gotB.Data[i] != wantB.Data[i] {
+						t.Fatalf("%s/%v nshards=%d: batch differs at flat %d", k.Name(), mode, nshards, i)
+					}
+				}
+
+				// Shard-failure fallback: dropping one partial must still be
+				// bitwise-exact (the coordinator recomputes it locally).
+				if p.NShards > 1 {
+					parts[0] = nil
+					got, err = m.ApplyGather(p, b, parts, false)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("%s/%v nshards=%d: fallback apply differs at %d", k.Name(), mode, nshards, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardPartialValidation checks the defensive paths: bad shard index,
+// wrong input length, wrong partial length.
+func TestShardPartialValidation(t *testing.T) {
+	pts := pointset.Cube(900, 3, 94)
+	m, err := Build(pts, kernel.Coulomb{}, Config{Kind: DataDriven, Mode: Normal, Tol: 1e-5, LeafSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.PlanShards(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randVec(m.N, 95)
+	if _, err := m.ApplyShard(p, p.NShards, b, false); err == nil {
+		t.Fatal("out-of-range shard index accepted")
+	}
+	if _, err := m.ApplyShard(p, 0, b[:10], false); err == nil {
+		t.Fatal("short input accepted")
+	}
+	parts := make([][]float64, p.NShards)
+	parts[0] = make([]float64, 1)
+	if _, err := m.ApplyGather(p, b, parts, false); err == nil {
+		t.Fatal("wrong partial length accepted")
+	}
+	if _, err := m.ApplyGather(p, b, parts[:1], false); err == nil {
+		t.Fatal("wrong partial count accepted")
+	}
+}
+
+// TestTreeCutInvariants validates the subtree-cut helper directly: every
+// point is owned by exactly one cut node at every level.
+func TestTreeCutInvariants(t *testing.T) {
+	pts := pointset.Cube(1200, 3, 96)
+	m, err := Build(pts, kernel.Coulomb{}, Config{Kind: DataDriven, Mode: Normal, Tol: 1e-4, LeafSize: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < m.Tree.Depth(); l++ {
+		cut := m.Tree.Cut(l)
+		covered := 0
+		prevEnd := 0
+		for _, id := range cut {
+			nd := &m.Tree.Nodes[id]
+			if nd.Start != prevEnd {
+				t.Fatalf("level %d: cut not contiguous at node %d (start %d, want %d)", l, id, nd.Start, prevEnd)
+			}
+			prevEnd = nd.End
+			covered += nd.Size()
+		}
+		if covered != m.N {
+			t.Fatalf("level %d: cut covers %d points want %d", l, covered, m.N)
+		}
+	}
+}

@@ -72,6 +72,14 @@ type Workspace struct {
 	upFn, coupFn, downFn, leafFn     func(w, i int)
 	upTFn, coupTFn, downTFn, leafTFn func(w, i int)
 
+	// Coupling selectors for the sharded scatter/gather apply: identical
+	// per-node arithmetic to coupFn/coupTFn/bCoupFn, but indexed through
+	// ws.level so a sweep can cover an arbitrary node subset instead of all
+	// nodes. Restricting the set never changes a g_i that is computed, which
+	// is what keeps the distributed apply bitwise-equal to the single-node
+	// one.
+	coupSelFn, coupTSelFn, bCoupSelFn func(w, i int)
+
 	// ---- batch (multi-RHS) state ----
 	k                  int // current batch width
 	bpB, ypB           *mat.Dense
@@ -120,8 +128,17 @@ func (m *Matrix) NewWorkspace() *Workspace {
 	ws.bCoupFn = ws.coupNodeB
 	ws.bDownFn = ws.downNodeB
 	ws.bLeafFn = ws.leafNodeB
+	ws.coupSelFn = ws.coupNodeSel
+	ws.coupTSelFn = ws.coupNodeTSel
+	ws.bCoupSelFn = ws.coupNodeBSel
 	return ws
 }
+
+// coupNodeSel and friends route a subset coupling sweep (node ids in
+// ws.level) to the full-sweep per-node kernels.
+func (ws *Workspace) coupNodeSel(w, k int)  { ws.coupNode(w, ws.level[k]) }
+func (ws *Workspace) coupNodeTSel(w, k int) { ws.coupNodeT(w, ws.level[k]) }
+func (ws *Workspace) coupNodeBSel(w, k int) { ws.coupNodeB(w, ws.level[k]) }
 
 // Per-worker counter layout within Workspace.ctr.
 const (

@@ -18,6 +18,8 @@ type counters struct {
 	rehydrations    atomic.Int64
 	swapDrains      atomic.Int64
 	downgrades      atomic.Int64
+	installs        atomic.Int64
+	shutdownSpills  atomic.Int64
 
 	spillCleanupErrors atomic.Int64
 }
@@ -31,7 +33,9 @@ type Stats struct {
 	Evictions       int64 `json:"evictions"`
 	Rehydrations    int64 `json:"rehydrations"`
 	SwapDrains      int64 `json:"swap_drains"`
-	Downgrades      int64 `json:"downgrades"` // budget overages resolved by hybrid storage shrink instead of eviction
+	Downgrades      int64 `json:"downgrades"`      // budget overages resolved by hybrid storage shrink instead of eviction
+	Installs        int64 `json:"installs"`        // pre-built matrices installed directly (replica imports)
+	ShutdownSpills  int64 `json:"shutdown_spills"` // builds that completed during Close and were persisted as spills
 
 	// SpillCleanupErrors counts spill files that could not be removed when
 	// their instance was deleted, rebuilt, or rehydrated. Each one is leaked
@@ -44,6 +48,13 @@ type Stats struct {
 	Ready      int   `json:"ready"`
 	MemBytes   int64 `json:"mem_bytes"`  // total across Ready instances
 	MemBudget  int64 `json:"mem_budget"` // 0 = unlimited
+
+	// States counts instances by lifecycle state name; MemHeadroom is the
+	// budget minus the Ready total (-1 when unbudgeted). Both feed the
+	// /readyz readiness endpoint, which the cluster router uses for replica
+	// selection.
+	States      map[string]int `json:"states"`
+	MemHeadroom int64          `json:"mem_headroom"`
 }
 
 // Stats returns a snapshot of the registry counters.
@@ -56,9 +67,12 @@ func (r *Registry) Stats() Stats {
 		Rehydrations:       r.st.rehydrations.Load(),
 		SwapDrains:         r.st.swapDrains.Load(),
 		Downgrades:         r.st.downgrades.Load(),
+		Installs:           r.st.installs.Load(),
+		ShutdownSpills:     r.st.shutdownSpills.Load(),
 		SpillCleanupErrors: r.st.spillCleanupErrors.Load(),
 		QueueDepth:         len(r.queue),
 		MemBudget:          r.cfg.MemBudget,
+		States:             make(map[string]int),
 	}
 	r.mu.Lock()
 	insts := make([]*instance, 0, len(r.items))
@@ -69,11 +83,16 @@ func (r *Registry) Stats() Stats {
 	s.Instances = len(insts)
 	for _, inst := range insts {
 		inst.mu.Lock()
+		s.States[inst.state.String()]++
 		if inst.state == StateReady {
 			s.Ready++
 			s.MemBytes += inst.mem
 		}
 		inst.mu.Unlock()
+	}
+	s.MemHeadroom = -1
+	if s.MemBudget > 0 {
+		s.MemHeadroom = s.MemBudget - s.MemBytes
 	}
 	return s
 }

@@ -396,15 +396,64 @@ func (r *Registry) runJob(job *buildJob) {
 	}
 	m, err := r.execute(job, setStage)
 	if err == nil {
-		// A cancellation that raced the build's completion still wins:
-		// Delete/Close asked for the result to be discarded.
-		err = job.ctx.Err()
-	}
-	if err != nil {
-		r.finishFail(job, err)
+		if cerr := job.ctx.Err(); cerr != nil {
+			// A cancellation that raced the build's completion: Delete asked
+			// for the result to be discarded, but a registry shutdown did not
+			// — a finished matrix is exactly what Close persists for Ready
+			// instances, so land it Evicted-with-spill instead of throwing
+			// the build away (and instead of leaking a Ready batcher past
+			// Close, which has already swept the instance table by the time
+			// the worker pool is joined).
+			if r.rootCtx.Err() != nil && r.finishShutdownSpill(job, m) {
+				return
+			}
+			r.finishFail(job, cerr)
+			return
+		}
+		r.finishReady(job, m)
 		return
 	}
-	r.finishReady(job, m)
+	r.finishFail(job, err)
+}
+
+// finishShutdownSpill persists a build that completed while the registry was
+// shutting down: the generators go to the spill dir and the instance lands
+// Evicted-with-spill (then Closed by Close's sweep, which preserves the spill
+// path), so the work survives to the next process via BuildSpec.Path. It
+// reports false — falling back to the plain cancellation path — when there is
+// no spill dir, the job is itself a rehydration (its spill file already
+// exists), a Delete recycled the name, or the spill write fails.
+func (r *Registry) finishShutdownSpill(job *buildJob, m *core.Matrix) bool {
+	if r.cfg.SpillDir == "" || job.rehydrate {
+		return false
+	}
+	inst := job.inst
+	inst.mu.Lock()
+	stale := inst.gen != job.gen
+	inst.mu.Unlock()
+	if stale {
+		return false
+	}
+	path, err := r.spill(inst.name, m)
+	if err != nil {
+		return false
+	}
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if inst.gen != job.gen {
+		r.removeSpill(path)
+		return false
+	}
+	inst.building = false
+	inst.cancelBuild = nil
+	inst.stage = ""
+	inst.err = nil
+	inst.state = StateEvicted
+	inst.spillPath = path
+	inst.broadcastLocked()
+	r.st.buildsSucceeded.Add(1)
+	r.st.shutdownSpills.Add(1)
+	return true
 }
 
 // execute runs the builder under panic recovery.
@@ -504,6 +553,46 @@ func (r *Registry) finishReady(job *buildJob, m *core.Matrix) {
 // lazily and then served. Failed and spill-less Evicted instances return
 // an error wrapping ErrNotReady.
 func (r *Registry) Apply(ctx context.Context, name string, b []float64) ([]float64, error) {
+	v, err := r.acquireVersion(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	defer v.inflight.Done()
+	return v.b.Apply(ctx, b)
+}
+
+// ApplyShard computes the scatter half of the distributed apply on the named
+// instance: the coupling partials for shard `shard` of an (nshards,
+// cutLevel) plan. The plan is re-derived from the local replica — identical
+// on every holder of the same build — so the wire protocol carries only the
+// three integers.
+func (r *Registry) ApplyShard(ctx context.Context, name string, nshards, cutLevel, shard int, b []float64, transpose bool) ([]float64, error) {
+	v, err := r.acquireVersion(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	defer v.inflight.Done()
+	return v.b.ApplyShard(nshards, cutLevel, shard, b, transpose)
+}
+
+// ApplyGather runs the gather half of the distributed apply on the named
+// instance, merging the shard partials (nil entries are recomputed locally)
+// and finishing the downward and nearfield sweeps. The result is
+// bitwise-equal to Apply on the same vector.
+func (r *Registry) ApplyGather(ctx context.Context, name string, nshards, cutLevel int, b []float64, parts [][]float64, transpose bool) ([]float64, error) {
+	v, err := r.acquireVersion(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	defer v.inflight.Done()
+	return v.b.ApplyGather(nshards, cutLevel, b, parts, transpose)
+}
+
+// acquireVersion waits until the named instance is Ready and returns its
+// current version with the in-flight count held — the caller must release it
+// with v.inflight.Done() when the routed call returns. Waiting and lazy
+// rehydration follow Apply's documented rules.
+func (r *Registry) acquireVersion(ctx context.Context, name string) (*version, error) {
 	for {
 		r.mu.Lock()
 		inst := r.items[name]
@@ -523,9 +612,7 @@ func (r *Registry) Apply(ctx context.Context, name string, b []float64) ([]float
 			v.inflight.Add(1)
 			inst.lastApply = time.Now()
 			inst.mu.Unlock()
-			y, err := v.b.Apply(ctx, b)
-			v.inflight.Done()
-			return y, err
+			return v, nil
 
 		case StatePending, StateBuilding:
 			ch := inst.change
@@ -632,6 +719,84 @@ func (r *Registry) Matrix(name string) (*core.Matrix, bool) {
 		return nil, false
 	}
 	return inst.cur.b.Matrix(), true
+}
+
+// MatrixWait returns the named instance's matrix under Apply's routing
+// rules: Pending/Building are awaited (bounded by ctx) and a spilled Evicted
+// instance is rehydrated lazily. It exists for callers that drive the
+// matrix's workspace pool directly — the cluster's sharded scatter/gather —
+// rather than routing vectors through the batcher. The matrix is immutable
+// and remains valid even if the instance is evicted or swapped mid-use.
+func (r *Registry) MatrixWait(ctx context.Context, name string) (*core.Matrix, error) {
+	v, err := r.acquireVersion(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	m := v.b.Matrix()
+	v.inflight.Done()
+	return m, nil
+}
+
+// Install registers a pre-built matrix directly as a Ready instance, without
+// going through the build queue — the cluster replication import path: a
+// replica node receives the owner's serialized stream, rehydrates it, and
+// installs the result as a read-only instance. Installing over an existing
+// Ready instance performs the same atomic swap-and-drain as a hot-swap
+// rebuild; installing while a build for the name is queued or running fails
+// with ErrBusy (the build owns the name until it settles).
+func (r *Registry) Install(name string, spec BuildSpec, m *core.Matrix) error {
+	if err := checkName(name); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	}
+	nv := &version{b: serve.NewBatcher(m, r.cfg.Batch)}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		nv.b.Close()
+		return ErrClosed
+	}
+	inst := r.items[name]
+	if inst == nil {
+		inst = &instance{
+			name:      name,
+			change:    make(chan struct{}),
+			state:     StatePending,
+			createdAt: time.Now(),
+		}
+		r.items[name] = inst
+	}
+	r.mu.Unlock()
+
+	inst.mu.Lock()
+	if inst.building {
+		inst.mu.Unlock()
+		nv.b.Close()
+		return ErrBusy
+	}
+	old := inst.cur
+	spill := inst.spillPath
+	inst.cur = nv
+	inst.state = StateReady
+	inst.spec = spec
+	inst.err = nil
+	inst.mem = m.Memory().Total()
+	inst.spillPath = ""
+	inst.readyAt = time.Now()
+	inst.lastApply = inst.readyAt
+	inst.broadcastLocked()
+	inst.mu.Unlock()
+
+	if old != nil {
+		old.drain()
+		r.st.swapDrains.Add(1)
+	}
+	if spill != "" {
+		r.removeSpill(spill)
+	}
+	r.st.installs.Add(1)
+	r.enforceBudget()
+	return nil
 }
 
 // Delete removes the named instance: new Applies fail with ErrNotFound, an

@@ -42,6 +42,12 @@ type BuildSpec struct {
 	// building; the kernel is resolved from the stream (core.ReadAny) and
 	// every build knob above is ignored.
 	Path string `json:"path,omitempty"`
+
+	// Replica marks an instance installed from another node's serialized
+	// stream (Registry.Install) rather than built locally. Purely
+	// informational: listings show where an instance came from, and the
+	// cluster router treats replicas as read-only.
+	Replica bool `json:"replica,omitempty"`
 }
 
 // withDefaults resolves zero build fields to the serving defaults.

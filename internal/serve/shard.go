@@ -1,0 +1,58 @@
+package serve
+
+// Sharded scatter/gather entry points. Unlike Apply, shard partials are not
+// batched: each call is one subtree sweep for one in-flight distributed
+// product, so coalescing across requests would serialize independent shards.
+// Both paths bypass the dispatcher entirely and use the pooled workspaces
+// inside core. The closed check still applies so a draining Batcher rejects
+// new cluster work the same way it rejects new Apply traffic.
+
+// ApplyShard runs the upward+coupling partial sweep for one shard of the
+// scatter plan (nshards, cutLevel) and returns the packed coupling partials
+// in ascending node-ID order. The plan is a pure function of the tree shape
+// and the two integers, so coordinator and shard workers derive identical
+// plans without shipping any structure over the wire.
+func (s *Batcher) ApplyShard(nshards, cutLevel, shard int, b []float64, transpose bool) ([]float64, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	p, err := s.m.PlanShards(nshards, cutLevel)
+	if err != nil {
+		return nil, err
+	}
+	out, err := s.m.ApplyShard(p, shard, b, transpose)
+	if err == nil {
+		s.st.shardPartials.Add(1)
+	}
+	return out, err
+}
+
+// ApplyGather completes a sharded product on the coordinator: it runs the
+// coordinator's own coupling set, overlays the shipped shard partials
+// (recomputing locally for any nil entry), and finishes the downward and
+// leaf sweeps. The result is bitwise identical to a single-node Apply.
+func (s *Batcher) ApplyGather(nshards, cutLevel int, b []float64, parts [][]float64, transpose bool) ([]float64, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	p, err := s.m.PlanShards(nshards, cutLevel)
+	if err != nil {
+		return nil, err
+	}
+	out, err := s.m.ApplyGather(p, b, parts, transpose)
+	if err == nil {
+		s.st.gathers.Add(1)
+	}
+	return out, err
+}
+
+// checkOpen reports ErrClosed once Close has begun.
+func (s *Batcher) checkOpen() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		s.st.dropClosed.Add(1)
+		return ErrClosed
+	}
+	return nil
+}

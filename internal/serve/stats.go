@@ -114,6 +114,9 @@ type stats struct {
 	dropCanceled  atomic.Int64
 	dropClosed    atomic.Int64
 
+	shardPartials atomic.Int64 // sharded-apply partial sweeps served
+	gathers       atomic.Int64 // sharded-apply gather merges completed
+
 	occupancy hist // requests per flushed batch
 	queueWait hist // µs from enqueue to pack
 	flushLat  hist // µs for one ApplyBatchTo flush
@@ -145,6 +148,9 @@ type Stats struct {
 	QueueDepth int   `json:"queue_depth"` // requests queued but not yet claimed by the dispatcher
 	Pending    int64 `json:"pending"`     // requests admitted but not yet answered (queued or packed)
 
+	ShardPartials int64 `json:"shard_partials,omitempty"` // cluster scatter partial sweeps served
+	Gathers       int64 `json:"gathers,omitempty"`        // cluster gather merges completed
+
 	BatchOccupancy HistSnapshot `json:"batch_occupancy"` // requests per batch
 	QueueWaitUS    HistSnapshot `json:"queue_wait_us"`   // enqueue → pack
 	FlushUS        HistSnapshot `json:"flush_us"`        // one batched apply
@@ -164,6 +170,8 @@ func (s *Batcher) Stats() Stats {
 		DroppedClosed:    s.st.dropClosed.Load(),
 		QueueDepth:       len(s.submit),
 		Pending:          s.st.pending.Load(),
+		ShardPartials:    s.st.shardPartials.Load(),
+		Gathers:          s.st.gathers.Load(),
 		BatchOccupancy:   s.st.occupancy.snapshot(),
 		QueueWaitUS:      s.st.queueWait.snapshot(),
 		FlushUS:          s.st.flushLat.snapshot(),

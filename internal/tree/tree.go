@@ -12,6 +12,7 @@ package tree
 
 import (
 	"fmt"
+	"sort"
 
 	"h2ds/internal/par"
 	"h2ds/internal/pointset"
@@ -319,6 +320,32 @@ func (t *Tree) buildLists() {
 
 // Root returns the root node id (always 0).
 func (t *Tree) Root() int { return 0 }
+
+// Cut returns the subtree cut at the given depth: every node at exactly
+// that level plus every shallower leaf, ordered by point range. The cut is a
+// partition of [0, n) — each point belongs to exactly one cut node — which
+// is what makes it usable as a shard boundary for distributed sweeps.
+func (t *Tree) Cut(level int) []int {
+	var cut []int
+	for i := range t.Nodes {
+		nd := &t.Nodes[i]
+		if nd.Level == level || (nd.IsLeaf && nd.Level < level) {
+			cut = append(cut, nd.ID)
+		}
+	}
+	sort.Slice(cut, func(a, b int) bool { return t.Nodes[cut[a]].Start < t.Nodes[cut[b]].Start })
+	return cut
+}
+
+// Subtree returns root and all of its descendants in ascending id order.
+func (t *Tree) Subtree(root int) []int {
+	ids := []int{root}
+	for k := 0; k < len(ids); k++ {
+		ids = append(ids, t.Nodes[ids[k]].Children...)
+	}
+	sort.Ints(ids)
+	return ids
+}
 
 // Depth returns the number of levels.
 func (t *Tree) Depth() int { return len(t.Levels) }
