@@ -10,7 +10,10 @@
 // rhs (multi-RHS batch apply; sweep width with -rhs), serve (request
 // batching under concurrent load; tune with -conc and -window), registry
 // (build queue + hot swap), matvec (steady-state apply latency/allocs with
-// a machine-readable JSON report; path via -json).
+// a machine-readable JSON report; path via -json), reltol (error-controlled
+// build sweep; self-asserting), cluster (multi-node routed applies), oracle
+// (geometry-oblivious dense-oracle build vs the kernel path;
+// self-asserting cross-validation).
 // Output is a plain-text report with one aligned table per panel; see
 // EXPERIMENTS.md for how each maps onto the paper.
 package main

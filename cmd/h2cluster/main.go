@@ -16,6 +16,8 @@
 //	curl -s localhost:8080/cluster/route/g          # owner, replicas, replication status
 //	curl -s localhost:8080/matrices/g/apply -d '{"b": [...]}'
 //	curl -s localhost:8080/matrices/g/shardapply -d '{"b": [...], "nshards": 2}'
+//	curl -s --data-binary @gram.f64 'localhost:8080/matrices/d/data?sym=1&reltol=1e-6'
+//	                                                # dense upload, streamed to the owner
 package main
 
 import (
@@ -46,6 +48,8 @@ func run() error {
 	vnodes := flag.Int("vnodes", cluster.DefaultVnodes, "virtual nodes per member on the hash ring")
 	timeout := flag.Duration("timeout", 60*time.Second, "per proxied request deadline")
 	healthTTL := flag.Duration("healthttl", 2*time.Second, "readiness probe cache lifetime")
+	maxBodyMB := flag.Int64("maxbody", 0, "JSON request body cap in MiB, answered with 413 over the cap (0 = 64)")
+	maxUploadMB := flag.Int64("maxupload", 0, "dense-upload body cap in MiB for POST /matrices/{name}/data (0 = 8192)")
 	flag.Parse()
 
 	var mlist []string
@@ -64,6 +68,8 @@ func run() error {
 		Vnodes:    *vnodes,
 		Timeout:   *timeout,
 		HealthTTL: *healthTTL,
+		MaxBody:   *maxBodyMB << 20,
+		MaxUpload: *maxUploadMB << 20,
 	})
 	srv := &http.Server{Addr: *addr, Handler: rt.Handler()}
 	errCh := make(chan error, 1)

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	h2info -n 40000 -dist cube -kernel coulomb -tol 1e-8 -basis dd -mem otf
+//	h2info -load matrix.h2    # print a serialized matrix's summary instead
+//
+// -load handles kernel-less streams (matrices built from a dense upload
+// through the entry oracle): the kernel prints as "(none)" and the sampled-
+// row error check — which needs a kernel to evaluate reference rows — is
+// skipped.
 package main
 
 import (
@@ -36,7 +42,16 @@ func main() {
 	samplerName := flag.String("sampler", "anchornet", "sampler: anchornet, fps, random")
 	budget := flag.Int("budget", 0, "sample budget per node (0 = derived)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	load := flag.String("load", "", "serialized matrix to summarize (skips the build; other knobs ignored)")
 	flag.Parse()
+
+	if *load != "" {
+		if err := printLoaded(*load, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "h2info: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	pts, ok := pointset.Named(*dist, *n, *dim, *seed)
 	if !ok {
@@ -106,4 +121,44 @@ func main() {
 	}
 	fmt.Printf("relative error (12 sampled rows): %.3e\n",
 		m.EstimateRelError(b, core.DefaultErrorRows, *seed+13))
+}
+
+// printLoaded summarizes a serialized matrix, including kernel-less streams
+// written by dense-upload builds.
+func printLoaded(path string, seed int64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	m, err := core.ReadAny(f)
+	if err != nil {
+		return fmt.Errorf("load %s: %w", path, err)
+	}
+	kname := m.Kern.Name()
+	if kname == "" {
+		kname = "(none)"
+	}
+	st := m.Stats()
+	fmt.Printf("h2ds matrix (loaded from %s): n=%d dim=%d kernel=%s basis=%v memory=%v\n",
+		path, m.N, m.Dim, kname, m.Cfg.Kind, m.Cfg.Mode)
+	fmt.Printf("tree: %d nodes, %d leaves, depth %d\n", st.Nodes, st.Leaves, st.Depth)
+	fmt.Printf("blocks: %d coupling, %d nearfield\n", st.InteractionBlocks, st.NearBlocks)
+	fmt.Printf("ranks: max %d, leaf total %d\n", st.MaxRank, st.SumLeafRank)
+	fmt.Printf("memory: %v\n", m.Memory())
+	if st.RelTol > 0 {
+		fmt.Printf("error-controlled: reltol=%.0e, a-posteriori estimate %.3e\n", st.RelTol, st.EstRelErr)
+	}
+	if !m.HasKernel() {
+		fmt.Println("relative error check: skipped (no kernel in stream; entries came from an oracle)")
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed + 7))
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	fmt.Printf("relative error (12 sampled rows): %.3e\n",
+		m.EstimateRelError(b, core.DefaultErrorRows, seed+13))
+	return nil
 }

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"h2ds/internal/api"
+	"h2ds/internal/kernel"
+	"h2ds/internal/oracle"
+	"h2ds/internal/pointset"
+	"h2ds/internal/registry"
+)
+
+// TestE2EDenseUpload drives the geometry-oblivious path over real HTTP: a
+// raw dense SPD matrix is uploaded with no coordinates and no kernel name,
+// built through the entry oracle, applied against the direct dense
+// reference, then replicated to a second server over the cluster transport
+// with a bitwise-identical apply.
+func TestE2EDenseUpload(t *testing.T) {
+	const (
+		n      = 300
+		reltol = 1e-6
+	)
+	pts := pointset.Cube(n, 3, 77)
+	k, err := kernel.ByName("gaussian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			data[i*n+j] = k.EvalPair(pts.At(i), pts.At(j))
+		}
+	}
+
+	reg := registry.New(registry.Config{Workers: 2})
+	defer reg.Close()
+	ts := httptest.NewServer(newServer(reg, 10*time.Second, api.Limits{DataDir: t.TempDir()}, false))
+	defer ts.Close()
+	client := ts.Client()
+
+	// Upload: raw little-endian row-major float64, knobs in the query string.
+	resp, err := client.Post(ts.URL+"/matrices/g/data?sym=1&reltol=1e-6&leaf=40",
+		"application/octet-stream", bytes.NewReader(oracle.Pack(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("upload: %d %s", resp.StatusCode, body)
+	}
+
+	// Poll until Ready; a dense instance reports no kernel.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := client.Get(ts.URL + "/matrices/g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var inf registry.Info
+		if err := json.Unmarshal(body, &inf); err != nil {
+			t.Fatalf("get body: %v (%s)", err, body)
+		}
+		if inf.State.String() == "ready" {
+			if inf.N != n || inf.Kernel != "" {
+				t.Fatalf("ready info: n=%d kernel=%q", inf.N, inf.Kernel)
+			}
+			break
+		}
+		if inf.State.String() == "failed" {
+			t.Fatalf("build failed: %s", inf.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never ready: %s", body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	rng := rand.New(rand.NewSource(13))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	apply := func(c *http.Client, url string) []float64 {
+		t.Helper()
+		buf, _ := json.Marshal(applyRequest{B: b})
+		resp, err := c.Post(url+"/matrices/g/apply", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("apply: %d %s", resp.StatusCode, body)
+		}
+		var ar applyResponse
+		if err := json.Unmarshal(body, &ar); err != nil {
+			t.Fatal(err)
+		}
+		return ar.Y
+	}
+	y := apply(client, ts.URL)
+
+	var num, den float64
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += data[i*n+j] * b[j]
+		}
+		num += (y[i] - s) * (y[i] - s)
+		den += s * s
+	}
+	if rel := math.Sqrt(num / den); rel > 10*reltol {
+		t.Fatalf("uploaded-matrix apply off dense reference by %.3e (reltol %g)", rel, reltol)
+	}
+
+	// Replicate to a second server over the cluster transport: the export
+	// stream carries the stored blocks verbatim, so the replica's apply is
+	// bitwise identical.
+	reg2 := registry.New(registry.Config{Workers: 1})
+	defer reg2.Close()
+	ts2 := httptest.NewServer(newServer(reg2, 10*time.Second, api.Limits{DataDir: t.TempDir()}, false))
+	defer ts2.Close()
+
+	eresp, err := client.Get(ts.URL + "/cluster/export/g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _ := io.ReadAll(eresp.Body)
+	eresp.Body.Close()
+	if eresp.StatusCode != http.StatusOK {
+		t.Fatalf("export: %d", eresp.StatusCode)
+	}
+	preq, err := http.NewRequest(http.MethodPut, ts2.URL+"/cluster/replicas/g", bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp, err := ts2.Client().Do(preq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusNoContent {
+		t.Fatalf("install: %d", presp.StatusCode)
+	}
+	y2 := apply(ts2.Client(), ts2.URL)
+	for i := range y {
+		if y[i] != y2[i] {
+			t.Fatalf("replica apply differs at %d: %g vs %g", i, y[i], y2[i])
+		}
+	}
+}
+
+// TestE2EBodyLimit413 pins the request-size guardrails: JSON and upload
+// bodies over their caps answer 413 without reaching the registry, and a
+// size that passes the cap but is not a square matrix answers 400.
+func TestE2EBodyLimit413(t *testing.T) {
+	reg := registry.New(registry.Config{Workers: 1})
+	defer reg.Close()
+	lim := api.Limits{JSONBody: 256, Upload: 1024, DataDir: t.TempDir()}
+	ts := httptest.NewServer(newServer(reg, 5*time.Second, lim, false))
+	defer ts.Close()
+	client := ts.Client()
+
+	post := func(path, ctype string, body []byte) int {
+		t.Helper()
+		resp, err := client.Post(ts.URL+path, ctype, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Oversized create JSON.
+	big := []byte(`{"name":"x","spec":{"kernel":"` + strings.Repeat("a", 300) + `"}}`)
+	if code := post("/matrices", "application/json", big); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized create: %d, want 413", code)
+	}
+	// Oversized apply JSON (the default alias shares the cap).
+	bigApply, _ := json.Marshal(applyRequest{B: make([]float64, 200)})
+	if code := post("/apply", "application/json", bigApply); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized apply: %d, want 413", code)
+	}
+	// Oversized dense upload.
+	if code := post("/matrices/x/data", "application/octet-stream", make([]byte, 2048)); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized upload: %d, want 413", code)
+	}
+	// In-cap upload whose byte count is not 8·n²: rejected before any build.
+	if code := post("/matrices/x/data", "application/octet-stream", make([]byte, 24)); code != http.StatusBadRequest {
+		t.Errorf("non-square upload: %d, want 400", code)
+	}
+	// Under-cap requests still work.
+	small, _ := json.Marshal(createRequest{Name: "ok", Spec: registry.BuildSpec{N: 64, Leaf: 16}})
+	if code := post("/matrices", "application/json", small); code != http.StatusAccepted {
+		t.Errorf("in-cap create: %d, want 202", code)
+	}
+}

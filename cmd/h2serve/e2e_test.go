@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"h2ds/internal/api"
 	"h2ds/internal/core"
 	"h2ds/internal/kernel"
 	"h2ds/internal/pointset"
@@ -34,7 +35,7 @@ func TestE2ESmoke(t *testing.T) {
 	)
 	reg := registry.New(registry.Config{Workers: 2})
 	defer reg.Close()
-	ts := httptest.NewServer(newServer(reg, 10*time.Second, true))
+	ts := httptest.NewServer(newServer(reg, 10*time.Second, api.Limits{}, true))
 	defer ts.Close()
 	client := ts.Client()
 
@@ -229,7 +230,7 @@ func TestE2EFailedBuildSurfaced(t *testing.T) {
 		return registry.DefaultBuild(ctx, sp, setStage)
 	}})
 	defer reg.Close()
-	ts := httptest.NewServer(newServer(reg, 10*time.Second, true))
+	ts := httptest.NewServer(newServer(reg, 10*time.Second, api.Limits{}, true))
 	defer ts.Close()
 
 	buf, _ := json.Marshal(createRequest{Name: "boom", Spec: registry.BuildSpec{Path: "panic://http"}})
@@ -320,7 +321,7 @@ func TestUnmarshalStateRoundTrip(t *testing.T) {
 func TestE2EInvalidSpecRejected(t *testing.T) {
 	reg := registry.New(registry.Config{Workers: 1})
 	defer reg.Close()
-	ts := httptest.NewServer(newServer(reg, 5*time.Second, false))
+	ts := httptest.NewServer(newServer(reg, 5*time.Second, api.Limits{}, false))
 	defer ts.Close()
 
 	post := func(body string) (*http.Response, string) {
@@ -365,7 +366,7 @@ func TestE2EInvalidSpecRejected(t *testing.T) {
 func TestE2ERelTolReporting(t *testing.T) {
 	reg := registry.New(registry.Config{Workers: 1})
 	defer reg.Close()
-	ts := httptest.NewServer(newServer(reg, 10*time.Second, false))
+	ts := httptest.NewServer(newServer(reg, 10*time.Second, api.Limits{}, false))
 	defer ts.Close()
 
 	body := `{"name":"default","spec":{"n":800,"dim":3,"reltol":1e-4,"mem":"normal","leaf":50,"seed":3}}`

@@ -45,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"h2ds/internal/api"
 	"h2ds/internal/kernel"
 	"h2ds/internal/registry"
 	"h2ds/internal/serve"
@@ -88,6 +89,8 @@ func run() error {
 	buildQueue := flag.Int("buildqueue", 8, "accepted-but-not-started build limit")
 	budgetMB := flag.Int64("membudget", 0, "total matrix memory budget in MiB across ready instances (0 = unlimited); exceeding it evicts the least-recently-applied instance")
 	spill := flag.String("spill", "", "directory for evicted instances' generators; evicted instances rehydrate lazily on their next apply, and ready instances persist here at shutdown")
+	maxBodyMB := flag.Int64("maxbody", 0, "JSON request body cap in MiB, answered with 413 over the cap (0 = 64)")
+	maxUploadMB := flag.Int64("maxupload", 0, "dense-upload body cap in MiB for POST /matrices/{name}/data (0 = 8192)")
 	flag.Parse()
 
 	// The default instance's spec, straight from the flags.
@@ -134,8 +137,12 @@ func run() error {
 		if kernelFlagSet && m.Kern.Name() != *kern {
 			return fmt.Errorf("%s was built with kernel %q, but -kernel %q was requested", *load, m.Kern.Name(), *kern)
 		}
+		kname := m.Kern.Name()
+		if kname == "" {
+			kname = "(none)" // kernel-less stream from a dense-upload build
+		}
 		fmt.Printf("h2serve: loaded %s: n=%d dim=%d kernel=%s mode=%v\n",
-			*load, m.N, m.Dim, m.Kern.Name(), m.Cfg.Mode)
+			*load, m.N, m.Dim, kname, m.Cfg.Mode)
 	} else {
 		fmt.Printf("h2serve: built n=%d dim=%d dist=%s kernel=%s mode=%v in %v\n",
 			m.N, m.Dim, *dist, m.Kern.Name(), m.Cfg.Mode, time.Since(t0).Round(time.Millisecond))
@@ -155,7 +162,10 @@ func run() error {
 		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(reg, *timeout, *pprofOn)}
+	// Dense uploads land next to the spill files when a spill directory is
+	// configured (one durable volume); otherwise the api default (temp dir).
+	lim := api.Limits{JSONBody: *maxBodyMB << 20, Upload: *maxUploadMB << 20, DataDir: *spill}
+	srv := &http.Server{Addr: *addr, Handler: newServer(reg, *timeout, lim, *pprofOn)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("h2serve: listening on %s (maxbatch=%d window=%v queue=%d block=%v flushers=%d builders=%d membudget=%dMiB)\n",

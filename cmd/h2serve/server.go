@@ -25,11 +25,12 @@ type (
 // newServer builds the HTTP surface over a registry: the internal/api
 // matrices endpoints, the cluster peer endpoints (/cluster/*, so any h2serve
 // process can act as a cluster node), and optionally pprof. timeout bounds
-// each apply request (0 = none, beyond the client's own context).
-func newServer(reg *registry.Registry, timeout time.Duration, enablePprof bool) http.Handler {
+// each apply request (0 = none, beyond the client's own context); lim bounds
+// request bodies and places dense uploads.
+func newServer(reg *registry.Registry, timeout time.Duration, lim api.Limits, enablePprof bool) http.Handler {
 	mux := http.NewServeMux()
-	api.Mount(mux, reg, timeout)
-	cluster.NewNode(reg, timeout).Mount(mux)
+	api.MountLimits(mux, reg, timeout, lim)
+	cluster.NewNode(reg, timeout, lim).Mount(mux)
 	if enablePprof {
 		// Mounted explicitly: the blank net/http/pprof import only registers
 		// on http.DefaultServeMux, which this server does not use.

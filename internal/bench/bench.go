@@ -121,7 +121,7 @@ func (o Options) seed() int64 {
 
 // Experiments lists the runnable experiment ids in paper order.
 func Experiments() []string {
-	return []string{"fig2", "fig4", "fig5", "fig6", "table1", "fig7", "fig8", "fig9", "ablation", "rhs", "serve", "registry", "matvec", "reltol", "cluster"}
+	return []string{"fig2", "fig4", "fig5", "fig6", "table1", "fig7", "fig8", "fig9", "ablation", "rhs", "serve", "registry", "matvec", "reltol", "cluster", "oracle"}
 }
 
 // Run executes one experiment ("fig2", ..., "table1", "ablation") or "all".
@@ -157,6 +157,8 @@ func Run(exp string, opt Options) error {
 		return RelTolSweep(opt)
 	case "cluster":
 		return ClusterBench(opt)
+	case "oracle":
+		return OracleBench(opt)
 	case "all":
 		for _, e := range Experiments() {
 			if err := Run(e, opt); err != nil {

@@ -69,7 +69,7 @@ func ClusterBench(opt Options) error {
 	srvs := make([]*httptest.Server, nodesN)
 	for i := range regs {
 		regs[i] = registry.New(registry.Config{Workers: 1, Batch: serve.Config{Flushers: 2}})
-		srvs[i] = httptest.NewServer(cluster.NodeHandler(regs[i], 60*time.Second))
+		srvs[i] = httptest.NewServer(cluster.NodeHandler(regs[i], 60*time.Second, api.Limits{}))
 		members[i] = srvs[i].URL
 		defer regs[i].Close()
 		defer srvs[i].Close()

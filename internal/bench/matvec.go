@@ -48,6 +48,12 @@ type MatvecReport struct {
 	// scatter/gather, and the direct single-node baseline. Owned by
 	// ClusterBench; MatvecJSON preserves it.
 	Cluster []ClusterRun `json:"cluster,omitempty"`
+
+	// Oracle is the geometry-oblivious construction comparison (the oracle
+	// experiment): the same Gram matrix built through the coordinate/kernel
+	// path and through the dense entry oracle, side by side. Owned by
+	// OracleBench; MatvecJSON preserves it.
+	Oracle []OracleRun `json:"oracle,omitempty"`
 }
 
 // matvecCases returns the (n, leaf) grid for the given scale. The small-n
@@ -159,6 +165,7 @@ func MatvecJSON(opt Options) error {
 		if json.Unmarshal(buf, &old) == nil {
 			rep.RelTolSweep = old.RelTolSweep
 			rep.Cluster = old.Cluster
+			rep.Oracle = old.Oracle
 		}
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")

@@ -29,7 +29,7 @@ type testNode struct {
 func startNode(t *testing.T) *testNode {
 	t.Helper()
 	reg := registry.New(registry.Config{Workers: 1})
-	srv := httptest.NewServer(NodeHandler(reg, 20*time.Second))
+	srv := httptest.NewServer(NodeHandler(reg, 20*time.Second, api.Limits{}))
 	t.Cleanup(func() { srv.Close(); reg.Close() })
 	return &testNode{reg: reg, srv: srv}
 }

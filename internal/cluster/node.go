@@ -21,16 +21,18 @@ import (
 type Node struct {
 	reg     *registry.Registry
 	timeout time.Duration
+	lim     api.Limits
 	client  *http.Client
 }
 
 // NewNode wraps a registry with the cluster peer endpoints. timeout bounds
-// the shard fan-out calls a gather makes to peers (0 = 30s).
-func NewNode(reg *registry.Registry, timeout time.Duration) *Node {
+// the shard fan-out calls a gather makes to peers (0 = 30s); lim bounds
+// request bodies (zero fields take the api defaults).
+func NewNode(reg *registry.Registry, timeout time.Duration, lim api.Limits) *Node {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
-	return &Node{reg: reg, timeout: timeout, client: &http.Client{}}
+	return &Node{reg: reg, timeout: timeout, lim: lim.WithDefaults(), client: &http.Client{}}
 }
 
 // Mount registers the peer endpoints on mux:
@@ -52,10 +54,10 @@ func (n *Node) Mount(mux *http.ServeMux) {
 // internal/api matrices endpoints plus the cluster peer endpoints — the
 // shape every cluster member serves. cmd/h2serve assembles the same surface
 // itself (it adds pprof); this constructor is for h2cluster nodes and tests.
-func NodeHandler(reg *registry.Registry, timeout time.Duration) http.Handler {
+func NodeHandler(reg *registry.Registry, timeout time.Duration, lim api.Limits) http.Handler {
 	mux := http.NewServeMux()
-	api.Mount(mux, reg, timeout)
-	NewNode(reg, timeout).Mount(mux)
+	api.MountLimits(mux, reg, timeout, lim)
+	NewNode(reg, timeout, lim).Mount(mux)
 	return mux
 }
 
@@ -82,8 +84,12 @@ func (n *Node) exportHandler(w http.ResponseWriter, r *http.Request) {
 // torn transfer is rejected before any instance state changes.
 func (n *Node) installHandler(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	m, err := core.ReadAny(r.Body)
+	m, err := core.ReadAny(http.MaxBytesReader(w, r.Body, n.lim.Upload))
 	if err != nil {
+		if mbe := (*http.MaxBytesError)(nil); errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("cluster: replica stream for %q exceeds %d byte limit", name, mbe.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, fmt.Sprintf("cluster: bad replica stream for %q: %v", name, err), http.StatusBadRequest)
 		return
 	}
@@ -136,8 +142,7 @@ type gatherRequest struct {
 
 func (n *Node) shardHandler(w http.ResponseWriter, r *http.Request) {
 	var req shardRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+	if !api.DecodeJSON(w, r, n.lim.JSONBody, &req) {
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), n.timeout)
@@ -156,8 +161,7 @@ func (n *Node) shardHandler(w http.ResponseWriter, r *http.Request) {
 // result is bitwise-equal to a single-node apply of the same vector.
 func (n *Node) gatherHandler(w http.ResponseWriter, r *http.Request) {
 	var req gatherRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+	if !api.DecodeJSON(w, r, n.lim.JSONBody, &req) {
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), n.timeout)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -37,6 +38,12 @@ type RouterConfig struct {
 	// next selection re-probes (default 2s). Failed nodes are retried after
 	// one TTL, so a vanished replica costs at most one request window.
 	HealthTTL time.Duration
+
+	// MaxBody caps JSON request bodies at the router (default 64 MiB) and
+	// MaxUpload caps dense-matrix uploads (default 8 GiB); both answer 413
+	// over the cap, before anything is proxied to a node.
+	MaxBody   int64
+	MaxUpload int64
 }
 
 // Router is the client-facing front of a cluster: it owns the ring, proxies
@@ -71,6 +78,8 @@ func NewRouter(cfg RouterConfig) *Router {
 	if cfg.HealthTTL <= 0 {
 		cfg.HealthTTL = 2 * time.Second
 	}
+	lim := api.Limits{JSONBody: cfg.MaxBody, Upload: cfg.MaxUpload}.WithDefaults()
+	cfg.MaxBody, cfg.MaxUpload = lim.JSONBody, lim.Upload
 	return &Router{
 		cfg:    cfg,
 		ring:   NewRing(cfg.Vnodes, cfg.Members...),
@@ -85,6 +94,7 @@ func NewRouter(cfg RouterConfig) *Router {
 //	POST   /matrices                   create on the owner, then replicate
 //	GET    /matrices                   aggregate listing across nodes
 //	GET    /matrices/{name}            proxy to a holder
+//	POST   /matrices/{name}/data       stream a dense upload to the owner, then replicate
 //	POST   /matrices/{name}/apply      read: rotate across owner+replicas
 //	POST   /matrices/{name}/shardapply distributed scatter/gather apply
 //	DELETE /matrices/{name}            delete on owner and replicas
@@ -97,6 +107,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /matrices", rt.createHandler)
 	mux.HandleFunc("GET /matrices", rt.listHandler)
 	mux.HandleFunc("GET /matrices/{name}", rt.getHandler)
+	mux.HandleFunc("POST /matrices/{name}/data", rt.uploadHandler)
 	mux.HandleFunc("POST /matrices/{name}/apply", rt.applyHandler)
 	mux.HandleFunc("POST /matrices/{name}/shardapply", rt.shardApplyHandler)
 	mux.HandleFunc("DELETE /matrices/{name}", rt.deleteHandler)
@@ -174,14 +185,28 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, addr, path str
 	return true
 }
 
+// readBody reads r's body up to limit bytes, answering 413 (over the limit)
+// or 400 itself and returning false when it did.
+func (rt *Router) readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		if mbe := (*http.MaxBytesError)(nil); errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d byte limit", mbe.Limit), http.StatusRequestEntityTooLarge)
+			return nil, false
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	return body, true
+}
+
 // createHandler routes a create to the name's owner, then replicates the
 // built matrix to the rest of the placement asynchronously: the 202 mirrors
 // the single-node contract (the build itself is async), and
 // /cluster/route/{name} reports when replicas are installed.
 func (rt *Router) createHandler(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(r.Body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	body, ok := rt.readBody(w, r, rt.cfg.MaxBody)
+	if !ok {
 		return
 	}
 	var req api.CreateRequest
@@ -204,6 +229,62 @@ func (rt *Router) createHandler(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(cands) > 1 {
 		go rt.replicate(req.Name, owner, cands[1:])
+	}
+}
+
+// uploadHandler streams a dense-matrix upload through to the name's owner.
+// Unlike the JSON endpoints the body is never buffered in the router — it can
+// be gigabytes — so there is no failover: a transport failure mid-stream
+// answers 502 and the client retries. On a 202 from the owner the placement's
+// replicas are installed asynchronously from the owner's serialized export,
+// exactly as for a kernel create.
+func (rt *Router) uploadHandler(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	cands := rt.placement(name)
+	if len(cands) == 0 {
+		http.Error(w, "cluster: no members", http.StatusServiceUnavailable)
+		return
+	}
+	owner := cands[0]
+	rt.mu.Lock()
+	rt.repl[name] = make(map[string]bool)
+	rt.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.Timeout)
+	defer cancel()
+	url := owner + "/matrices/" + name + "/data"
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, http.MaxBytesReader(w, r.Body, rt.cfg.MaxUpload))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if r.ContentLength > 0 {
+		req.ContentLength = r.ContentLength
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		// A tripped body limit surfaces as the transport error here; that is
+		// the client's fault, not the owner's, so only mark the node down for
+		// genuine transport failures.
+		if mbe := (*http.MaxBytesError)(nil); errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("upload exceeds %d byte limit", mbe.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
+		rt.markDown(owner)
+		http.Error(w, fmt.Sprintf("cluster: owner %s unreachable: %v", owner, err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.Header().Set("X-H2-Node", owner)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	if resp.StatusCode == http.StatusAccepted && len(cands) > 1 {
+		go rt.replicate(name, owner, cands[1:])
 	}
 }
 
@@ -300,9 +381,8 @@ func (rt *Router) copyInstance(ctx context.Context, name, owner, target string) 
 // single node disappearing as long as one holder remains.
 func (rt *Router) applyHandler(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	body, err := io.ReadAll(r.Body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	body, ok := rt.readBody(w, r, rt.cfg.MaxBody)
+	if !ok {
 		return
 	}
 	cands := rt.placement(name)
@@ -348,8 +428,7 @@ type shardApplyRequest struct {
 func (rt *Router) shardApplyHandler(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req shardApplyRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+	if !api.DecodeJSON(w, r, rt.cfg.MaxBody, &req) {
 		return
 	}
 	cands := rt.placement(name)
@@ -541,8 +620,7 @@ func (rt *Router) membersHandler(w http.ResponseWriter, _ *http.Request) {
 
 func (rt *Router) membersChangeHandler(w http.ResponseWriter, r *http.Request) {
 	var req memberChange
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+	if !api.DecodeJSON(w, r, rt.cfg.MaxBody, &req) {
 		return
 	}
 	for _, a := range req.Add {

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"h2ds/internal/oracle"
+)
+
+// BuildOracle constructs an H² matrix from entry access alone — the
+// geometry-oblivious path (GOFMM, arXiv:1707.00164). The oracle's
+// entry-induced distances are embedded into a low-dimensional point set
+// (oracle.Embed), and the ordinary data-driven build runs on those points
+// with an oracle-backed kernel: tree partition, anchor-net samples, row-ID
+// skeletons, and the reltol a-posteriori certificate all work unchanged.
+//
+// Oracle builds are stored-only: entries are data, not code, so the
+// on-the-fly and hybrid memory modes (which re-evaluate blocks at apply
+// time, potentially after a save/load cycle that cannot ship the oracle)
+// are rejected with an error, as is the interpolation basis (Chebyshev
+// grids sit at coordinates the oracle cannot answer). cfg.Kind and cfg.Mode
+// zero values are exactly the supported DataDriven/Normal pair.
+func BuildOracle(src oracle.Source, cfg Config) (*Matrix, error) {
+	if src == nil || src.N() == 0 {
+		return nil, fmt.Errorf("core: empty oracle source")
+	}
+	if cfg.Mode != Normal {
+		return nil, fmt.Errorf("core: oracle builds are stored-only: mode %v re-evaluates blocks at apply time, which needs a kernel formula; use Normal", cfg.Mode)
+	}
+	if cfg.Kind != DataDriven {
+		return nil, fmt.Errorf("core: oracle builds require the data-driven basis: %v evaluates the kernel at grid coordinates an entry oracle cannot answer", cfg.Kind)
+	}
+	pts := oracle.Embed(src)
+	return Build(pts, oracle.NewEntryKernel(src), cfg)
+}
+
+// storedOnlyKernel is the placeholder installed when a kernel-less stream is
+// loaded: the oracle that produced the entries is gone, so only the stored
+// representation (generators + serialized blocks) can be applied. Any
+// attempt to evaluate a fresh entry is a programming error and panics with
+// a message naming the cause.
+type storedOnlyKernel struct{ sym bool }
+
+func (storedOnlyKernel) EvalPair(_, _ []float64) float64 {
+	panic("core: kernel-less matrix: entries came from an oracle consumed at build time; only the stored representation can be applied")
+}
+
+func (k storedOnlyKernel) Symmetric() bool { return k.sym }
+func (storedOnlyKernel) Name() string      { return "" }
+
+// KernelLess reports whether the matrix was built through an entry oracle
+// (no named kernel): its serialized form carries the stored blocks verbatim
+// and storage-mode downgrades are impossible.
+func (m *Matrix) KernelLess() bool { return m.Kern.Name() == "" }
+
+// HasKernel reports whether the matrix can evaluate fresh kernel entries —
+// false only for kernel-less matrices loaded from a stream, whose oracle is
+// gone. Error estimation against exact rows (RelErrorVs, EstimateRelError)
+// requires it.
+func (m *Matrix) HasKernel() bool {
+	_, stored := m.Kern.(storedOnlyKernel)
+	return !stored
+}

@@ -31,13 +31,16 @@ import (
 // error-controlled builds (per-level ranks are recomputed from the per-node
 // ranks at load); version 4 appended an integrity footer (magic + CRC32-IEEE
 // of every preceding byte) so spill rehydration and cluster replication
-// transfers detect torn or corrupted payloads instead of mis-deserializing.
-// Versions 1–3 are still readable; they imply zero budget / fixed-parameter
-// build / no checksum verification respectively.
+// transfers detect torn or corrupted payloads instead of mis-deserializing;
+// version 5 added a stored-block section for kernel-less matrices (entry
+// oracles, internal/oracle): their coupling/nearfield blocks are data the
+// load side cannot re-derive, so they travel in the stream verbatim.
+// Versions 1–4 are still readable; they imply zero budget / fixed-parameter
+// build / no checksum verification / no stored-block section respectively.
 const (
 	serialMagic       = "H2DS"
 	serialFooterMagic = "H2CK"
-	serialVersion     = uint32(4)
+	serialVersion     = uint32(5)
 	serialVersionMin  = uint32(1)
 )
 
@@ -237,9 +240,104 @@ func (s *serialReader) readDense() *mat.Dense {
 	return mat.NewDenseData(rows, cols, data)
 }
 
+// writeBlockStore serializes a frozen store's compact CSR form: the index
+// arrays, per-block shapes, and the contiguous payload slab. Only frozen
+// stores are serialized (construction completes before WriteTo).
+func writeBlockStore(s *serialWriter, bs *BlockStore) {
+	if bs == nil || !bs.frozen.Load() || bs.rowPtr == nil {
+		s.write(false)
+		return
+	}
+	s.write(true)
+	s.write(bs.directed)
+	s.writeI64(len(bs.rowPtr))
+	for _, v := range bs.rowPtr {
+		s.writeI64(int(v))
+	}
+	s.writeI64(len(bs.hdr))
+	for k := range bs.hdr {
+		s.writeI64(int(bs.colIdx[k]))
+		s.writeI64(bs.hdr[k].Rows)
+		s.writeI64(bs.hdr[k].Cols)
+	}
+	s.writeF64Slice(bs.slab)
+}
+
+// readBlockStore reconstructs a frozen store from writeBlockStore's layout,
+// re-aliasing each block header into the single payload slab exactly as
+// Freeze's compaction does.
+func readBlockStore(s *serialReader) *BlockStore {
+	var present bool
+	s.read(&present)
+	if s.err != nil || !present {
+		return nil
+	}
+	bs := &BlockStore{}
+	s.read(&bs.directed)
+	nRows := s.readI64()
+	if !s.checkLen(nRows) {
+		return nil
+	}
+	bs.rowPtr = make([]int32, nRows)
+	for i := range bs.rowPtr {
+		bs.rowPtr[i] = int32(s.readI64())
+	}
+	nBlocks := s.readI64()
+	if !s.checkLen(nBlocks) {
+		return nil
+	}
+	bs.colIdx = make([]int32, nBlocks)
+	bs.hdr = make([]mat.Dense, nBlocks)
+	var need int64
+	var maxBlk int64
+	for k := 0; k < nBlocks; k++ {
+		bs.colIdx[k] = int32(s.readI64())
+		rows, cols := s.readI64(), s.readI64()
+		if s.err != nil {
+			return nil
+		}
+		if rows < 0 || cols < 0 || int64(rows)*int64(cols) > maxSliceLen {
+			s.err = fmt.Errorf("core: corrupt stored block %dx%d", rows, cols)
+			return nil
+		}
+		bs.hdr[k] = mat.Dense{Rows: rows, Cols: cols}
+		need += int64(rows) * int64(cols)
+		if bb := int64(rows) * int64(cols) * 8; bb > maxBlk {
+			maxBlk = bb
+		}
+	}
+	bs.slab = s.readF64Slice()
+	if s.err != nil {
+		return nil
+	}
+	if int64(len(bs.slab)) != need || (nRows == 0 && nBlocks > 0) ||
+		(nRows > 0 && int(bs.rowPtr[nRows-1]) != nBlocks) {
+		s.err = fmt.Errorf("core: corrupt block store section (%d blocks, slab %d, need %d)", nBlocks, len(bs.slab), need)
+		return nil
+	}
+	var off int64
+	for k := 0; k < nBlocks; k++ {
+		sz := int64(bs.hdr[k].Rows) * int64(bs.hdr[k].Cols)
+		bs.hdr[k].Data = bs.slab[off : off+sz]
+		off += sz
+	}
+	bs.frozenBytes = need*8 + int64(len(bs.hdr))*40 + int64(len(bs.rowPtr)+len(bs.colIdx))*4
+	bs.frozenMaxBlk = maxBlk
+	bs.frozen.Store(true)
+	return bs
+}
+
 // WriteTo serializes the matrix generators (not the kernel, which is code).
+// Kernel-less matrices (built through an entry oracle; Name() == "") also
+// carry their stored coupling/nearfield blocks, since the load side has no
+// kernel to re-assemble them from; they must be in Normal mode — the only
+// mode whose apply never evaluates fresh entries.
 // It implements io.WriterTo.
 func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
+	kernelLess := m.Kern.Name() == ""
+	if kernelLess && (m.Cfg.Mode != Normal || m.coup == nil || m.near == nil) {
+		return 0, fmt.Errorf("core: kernel-less matrix must be in normal mode with stored blocks to serialize (mode %v)", m.Cfg.Mode)
+	}
 	cw := &crcWriter{w: w}
 	s := &serialWriter{w: bufio.NewWriter(cw)}
 	s.writeString(serialMagic)
@@ -307,6 +405,19 @@ func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
 		s.write(false)
 	}
 
+	// Version 5: kernel-less matrices ship their frozen block stores
+	// verbatim — the payload is oracle data the reader cannot recompute, and
+	// shipping the exact slabs makes a save/load round trip (and therefore
+	// every cluster replica) bitwise-identical in apply.
+	if kernelLess {
+		s.write(uint8(1))
+		s.write(m.Kern.Symmetric())
+		writeBlockStore(s, m.coup)
+		writeBlockStore(s, m.near)
+	} else {
+		s.write(uint8(0))
+	}
+
 	if s.err == nil {
 		s.err = s.w.Flush()
 	}
@@ -356,9 +467,12 @@ func Read(r io.Reader, k kernel.Pairwise) (*Matrix, error) {
 }
 
 // ReadAny deserializes a matrix written by WriteTo, resolving the kernel
-// from the name recorded in the stream via kernel.ByName. Streams built with
-// a kernel outside the name registry (custom or parameterized kernels) fail
-// with the registry's unknown-kernel error; use Read with the explicit
+// from the name recorded in the stream via kernel.ByName. An empty kernel
+// name marks a kernel-less stream (entry-oracle build): no lookup happens,
+// the stored blocks are taken from the stream, and the loaded matrix gets a
+// placeholder kernel that refuses fresh evaluations. Streams built with a
+// named kernel outside the name registry (custom or parameterized kernels)
+// fail with the registry's unknown-kernel error; use Read with the explicit
 // kernel for those.
 func ReadAny(r io.Reader) (*Matrix, error) {
 	s := newSerialReader(r)
@@ -366,9 +480,12 @@ func ReadAny(r io.Reader) (*Matrix, error) {
 	if err != nil {
 		return nil, err
 	}
-	k, err := kernel.ByName(kname)
-	if err != nil {
-		return nil, fmt.Errorf("core: cannot resolve stream kernel: %w", err)
+	var k kernel.Pairwise
+	if kname != "" {
+		k, err = kernel.ByName(kname)
+		if err != nil {
+			return nil, fmt.Errorf("core: cannot resolve stream kernel: %w", err)
+		}
 	}
 	return readBody(s, k, version)
 }
@@ -493,6 +610,37 @@ func readBody(s *serialReader, k kernel.Pairwise, version uint32) (*Matrix, erro
 	if s.err != nil {
 		return nil, s.err
 	}
+
+	// Version 5: stored-block section (kernel-less streams only). The blocks
+	// arrive verbatim, so no kernel is needed to serve the matrix; a loaded
+	// kernel-less matrix gets a placeholder kernel that refuses fresh
+	// evaluations but answers Symmetric for the apply's triangular logic.
+	blocksFromStream := false
+	if version >= 5 {
+		var hasBlocks uint8
+		s.read(&hasBlocks)
+		if hasBlocks == 1 {
+			var sym bool
+			s.read(&sym)
+			coup := readBlockStore(s)
+			near := readBlockStore(s)
+			if s.err != nil {
+				return nil, s.err
+			}
+			if coup == nil || near == nil {
+				return nil, fmt.Errorf("core: kernel-less stream missing stored blocks")
+			}
+			m.coup, m.near = coup, near
+			blocksFromStream = true
+			if m.Kern == nil {
+				m.Kern = storedOnlyKernel{sym: sym}
+			}
+		}
+	}
+	if m.Kern == nil {
+		return nil, fmt.Errorf("core: stream names no kernel and carries no stored blocks")
+	}
+
 	if version >= 4 {
 		if err := s.verifyFooter(); err != nil {
 			return nil, err
@@ -516,10 +664,11 @@ func readBody(s *serialReader, k kernel.Pairwise, version uint32) (*Matrix, erro
 	if err := m.validateLoaded(); err != nil {
 		return nil, err
 	}
-	if m.Cfg.Mode == Normal || m.Cfg.Mode == Hybrid {
+	if (m.Cfg.Mode == Normal || m.Cfg.Mode == Hybrid) && !blocksFromStream {
 		// Reassemble the stored blocks on a transient build pool, exactly as
 		// Build does. Hybrid selection is deterministic, so a round-trip
-		// stores the identical block subset.
+		// stores the identical block subset. Kernel-less streams skip this:
+		// their blocks came off the wire verbatim above.
 		m.buildPool = par.NewPool(m.Cfg.Workers)
 		if m.Cfg.Mode == Normal {
 			m.storeBlocks()

@@ -31,6 +31,17 @@ type Pairwise interface {
 	Name() string
 }
 
+// BlockAssembler is an optional Pairwise extension for kernels whose values
+// come from a backing store rather than a coordinate formula (entry oracles:
+// internal/oracle). Assemble consults it before its radial/pairwise
+// dispatch, so such kernels fetch a whole submatrix in one call instead of
+// len(rows)·len(cols) EvalPair round trips. AssembleBlock receives dst
+// already shaped len(rows)×len(cols) and reports whether it handled the
+// block; false falls back to the pairwise loop.
+type BlockAssembler interface {
+	AssembleBlock(dst *mat.Dense, x *pointset.Points, rows []int, y *pointset.Points, cols []int) bool
+}
+
 // Kernel is a radial, symmetric kernel function K(x, y) = f(||x-y||₂) on
 // d-dimensional points.
 //
@@ -288,6 +299,9 @@ func ByName(name string) (Kernel, error) {
 func Assemble(dst *mat.Dense, pk Pairwise, x *pointset.Points, rows []int, y *pointset.Points, cols []int) *mat.Dense {
 	m, n := len(rows), len(cols)
 	dst.Reshape(m, n)
+	if ba, ok := pk.(BlockAssembler); ok && ba.AssembleBlock(dst, x, rows, y, cols) {
+		return dst
+	}
 	k, radial := pk.(Kernel)
 	if !radial {
 		assemblePair(dst, pk, x, rows, y, cols)

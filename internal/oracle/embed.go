@@ -1,0 +1,125 @@
+package oracle
+
+import (
+	"math"
+
+	"h2ds/internal/pointset"
+)
+
+// EmbedDims is the number of FastMap projection axes. Three matches the
+// ambient dimension of the geometric workloads the admissibility condition
+// and leaf-size heuristics are tuned for; the entry-induced distances of a
+// kernel matrix on a d≤3 manifold are recovered near-isometrically.
+const EmbedDims = 3
+
+// indexScale is the identity-coordinate unit: point i carries the extra
+// coordinate i·2⁻³². The product is exact in float64 for any realistic n
+// (i < 2⁵²), so the index survives tree permutation and serialization
+// bitwise, and the coordinate's total extent n·2⁻³² is geometrically
+// negligible against the unit-normalized projection axes.
+const indexScale = 1.0 / (1 << 32)
+
+// Embed derives a point set from matrix entries alone, the geometry-oblivious
+// step of a GOFMM-style build. The entry-induced squared distance
+//
+//	d²(i,j) = K(i,i) + K(j,j) − K(i,j) − K(j,i)
+//
+// (the Gram-to-Euclidean identity for SPD K, symmetrized otherwise) is
+// projected onto EmbedDims FastMap axes: each axis picks a far-apart pivot
+// pair by two linear scans and places every point by the cosine-law
+// coordinate, then recurses on the residual distances. The scan is
+// O(EmbedDims²·n) entry accesses — rows and diagonal only, never the full
+// matrix — and fully deterministic, so two builds of the same Source embed
+// identically.
+//
+// The returned points have EmbedDims+1 coordinates: the projection axes,
+// normalized by a power of two into [-1, 1] (exact division, so bitwise
+// reproducible), plus the identity coordinate i·indexScale that EntryKernel
+// decodes back to the original row index. A degenerate Source (all distances
+// zero) leaves the projection axes zero and the tree splits on the identity
+// coordinate — index order, still a valid partition.
+func Embed(src Source) *pointset.Points {
+	n := src.N()
+	dim := EmbedDims + 1
+	pts := pointset.New(n, dim)
+	co := pts.Coords
+
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = src.At(i, i)
+	}
+	sym := src.Symmetric()
+
+	// d2 is the residual squared distance after the first `axes` projections,
+	// clamped at zero (floating-point residuals can go slightly negative).
+	d2 := func(i, j int, axes int) float64 {
+		var cross float64
+		if sym {
+			cross = 2 * src.At(i, j)
+		} else {
+			cross = src.At(i, j) + src.At(j, i)
+		}
+		v := diag[i] + diag[j] - cross
+		for a := 0; a < axes; a++ {
+			dx := co[i*dim+a] - co[j*dim+a]
+			v -= dx * dx
+		}
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	farthest := func(from, axes int) int {
+		best, bestD := from, -1.0
+		for i := 0; i < n; i++ {
+			if d := d2(from, i, axes); d > bestD {
+				best, bestD = i, d
+			}
+		}
+		return best
+	}
+
+	for axis := 0; axis < EmbedDims; axis++ {
+		p := farthest(axis%n, axis)
+		q := farthest(p, axis)
+		dpq2 := d2(p, q, axis)
+		if dpq2 <= 0 {
+			break // residual space exhausted; remaining axes stay zero
+		}
+		dpq := math.Sqrt(dpq2)
+		for i := 0; i < n; i++ {
+			co[i*dim+axis] = (d2(p, i, axis) + dpq2 - d2(q, i, axis)) / (2 * dpq)
+		}
+	}
+
+	// Normalize the projection axes into [-1, 1] by an exact power-of-two
+	// scale so the identity coordinate's extent is negligible by
+	// construction regardless of the matrix's magnitude.
+	var maxAbs float64
+	for i := 0; i < n; i++ {
+		for a := 0; a < EmbedDims; a++ {
+			if v := math.Abs(co[i*dim+a]); v > maxAbs {
+				maxAbs = v
+			}
+		}
+	}
+	if maxAbs > 0 {
+		scale := math.Exp2(math.Ceil(math.Log2(maxAbs)))
+		for i := 0; i < n; i++ {
+			for a := 0; a < EmbedDims; a++ {
+				co[i*dim+a] /= scale
+			}
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		co[i*dim+EmbedDims] = float64(i) * indexScale
+	}
+	return pts
+}
+
+// Index decodes a point's original row index from its identity coordinate
+// (the last coordinate of an Embed point).
+func Index(coord []float64) int {
+	return int(math.Round(coord[len(coord)-1] * (1 << 32)))
+}

@@ -1,0 +1,57 @@
+package oracle
+
+import (
+	"h2ds/internal/mat"
+	"h2ds/internal/pointset"
+)
+
+// EntryKernel presents a Source as a kernel.Pairwise over Embed's point set,
+// which is what lets the existing tree/sample/core build run unchanged on a
+// geometry-oblivious problem: wherever the builder evaluates "the kernel" at
+// two points, EntryKernel decodes the points' identity coordinates back to
+// row/column indices and reads the oracle.
+//
+// Its Name is the empty string — the kernel-less marker: serialization
+// writes no kernel name and ships the stored blocks verbatim instead
+// (entries are data, not code; they cannot be re-evaluated at load time).
+//
+// It also implements kernel.BlockAssembler so whole coupling/nearfield
+// blocks are fetched with one Entry call instead of len(rows)·len(cols)
+// pairwise evaluations.
+type EntryKernel struct {
+	src Source
+}
+
+// NewEntryKernel wraps src. The points passed to evaluation methods must
+// come from Embed(src) (directly or through the tree's permuted copy).
+func NewEntryKernel(src Source) *EntryKernel { return &EntryKernel{src: src} }
+
+// Source returns the wrapped oracle.
+func (e *EntryKernel) Source() Source { return e.src }
+
+// EvalPair returns K(i, j) for the rows the two points encode.
+func (e *EntryKernel) EvalPair(x, y []float64) float64 {
+	return e.src.At(Index(x), Index(y))
+}
+
+// Symmetric reports the oracle's declared symmetry.
+func (e *EntryKernel) Symmetric() bool { return e.src.Symmetric() }
+
+// Name returns "" — the kernel-less marker; there is no formula to name.
+func (e *EntryKernel) Name() string { return "" }
+
+// AssembleBlock fills dst (already shaped len(rows)×len(cols)) with the
+// oracle submatrix addressed by the points' identity coordinates. It always
+// reports true: every block of an entry oracle is assembled this way.
+func (e *EntryKernel) AssembleBlock(dst *mat.Dense, x *pointset.Points, rows []int, y *pointset.Points, cols []int) bool {
+	ri := make([]int, len(rows))
+	for a, r := range rows {
+		ri[a] = Index(x.At(r))
+	}
+	cj := make([]int, len(cols))
+	for b, c := range cols {
+		cj[b] = Index(y.At(c))
+	}
+	e.src.Entry(ri, cj, dst.Data[:len(rows)*len(cols)])
+	return true
+}

@@ -1,0 +1,169 @@
+// Package oracle is the geometry-oblivious construction front-end: it lets
+// the H² machinery compress matrices that exist only as entries, with no
+// coordinates and no kernel formula. The model follows GOFMM (Yu et al.,
+// arXiv:1707.00164): the only thing a caller must provide is block entry
+// access K(rows, cols), and everything geometric the builder needs — the
+// permutation/partition tree and the anchor-net samples — is derived from
+// sampled entry-induced distances (see Embed). Cai–Huang–Chow–Xi
+// (arXiv:2206.01885) formalizes the sampled-ID error control the core
+// builder already ships (reltol) in exactly this entry-access setting, so
+// error-controlled builds carry over unchanged.
+//
+// The package has three pieces:
+//
+//   - Source, the Entry(i, j) access interface, with Dense (an in-memory
+//     row-major matrix, the upload serving path) and FromKernel (a
+//     kernel-backed adapter used for cross-validation) implementations.
+//   - Embed, which turns a Source into a low-dimensional point set by
+//     FastMap projection of the entry-induced distances, with an appended
+//     identity coordinate that encodes each point's original index exactly.
+//   - EntryKernel, a kernel.Pairwise whose evaluations decode the identity
+//     coordinates back to indices and read the oracle — so tree, sampler,
+//     and core builder run unchanged on the embedded points.
+package oracle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+
+	"h2ds/internal/kernel"
+	"h2ds/internal/pointset"
+)
+
+// Source is block entry access to an n×n matrix: the complete construction
+// interface of a geometry-oblivious build. Implementations must be safe for
+// concurrent reads (the builder assembles blocks from many workers).
+type Source interface {
+	// N is the matrix dimension.
+	N() int
+	// Symmetric reports whether K(i,j) == K(j,i) for all pairs; symmetric
+	// sources get the shared row/column basis and triangular block storage.
+	Symmetric() bool
+	// At returns the single entry K(i, j).
+	At(i, j int) float64
+	// Entry fills out, row-major len(rows)×len(cols), with the submatrix
+	// K(rows, cols). len(out) must be at least len(rows)*len(cols).
+	Entry(rows, cols []int, out []float64)
+}
+
+// Dense is an in-memory row-major n×n Source — the representation behind
+// the dense-matrix upload endpoint.
+type Dense struct {
+	n    int
+	sym  bool
+	data []float64 // row-major, len n*n
+}
+
+// NewDense wraps a row-major n×n value slice (not copied). sym declares the
+// matrix symmetric; it is trusted, not verified (verification is O(n²) and
+// the caller often knows, e.g. a Gram matrix).
+func NewDense(n int, data []float64, sym bool) (*Dense, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("oracle: dense size must be positive, got %d", n)
+	}
+	if len(data) != n*n {
+		return nil, fmt.Errorf("oracle: dense data has %d values, want %d (n=%d)", len(data), n*n, n)
+	}
+	return &Dense{n: n, sym: sym, data: data}, nil
+}
+
+// N returns the matrix dimension.
+func (d *Dense) N() int { return d.n }
+
+// Symmetric reports the symmetry declared at construction.
+func (d *Dense) Symmetric() bool { return d.sym }
+
+// At returns K(i, j).
+func (d *Dense) At(i, j int) float64 { return d.data[i*d.n+j] }
+
+// Entry fills out with the row-major submatrix K(rows, cols).
+func (d *Dense) Entry(rows, cols []int, out []float64) {
+	nc := len(cols)
+	for a, i := range rows {
+		src := d.data[i*d.n : (i+1)*d.n]
+		dst := out[a*nc:]
+		for b, j := range cols {
+			dst[b] = src[j]
+		}
+	}
+}
+
+// LoadDense reads a dense matrix file: n*n row-major little-endian float64
+// values with no header, the upload endpoint's on-disk format. n is inferred
+// from the file size, which must be 8·n² for some positive integer n.
+func LoadDense(path string, sym bool) (*Dense, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	n, err := DenseSize(int64(len(buf)))
+	if err != nil {
+		return nil, fmt.Errorf("oracle: %s: %w", path, err)
+	}
+	data := make([]float64, n*n)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return NewDense(n, data, sym)
+}
+
+// DenseSize maps a raw dense payload size in bytes to the matrix dimension
+// n, rejecting sizes that are not 8·n².
+func DenseSize(bytes int64) (int, error) {
+	if bytes <= 0 || bytes%8 != 0 {
+		return 0, fmt.Errorf("oracle: dense payload of %d bytes is not a float64 matrix", bytes)
+	}
+	elems := bytes / 8
+	n := int64(math.Sqrt(float64(elems)))
+	for n > 0 && n*n > elems {
+		n--
+	}
+	for (n+1)*(n+1) <= elems {
+		n++
+	}
+	if n < 1 || n*n != elems {
+		return 0, fmt.Errorf("oracle: dense payload of %d bytes (%d values) is not square", bytes, elems)
+	}
+	return int(n), nil
+}
+
+// Pack encodes values in the dense wire/file format (little-endian float64,
+// no header). The inverse of LoadDense's decoding.
+func Pack(vals []float64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// kernelSource adapts a kernel on a point set to the Source interface — the
+// cross-validation path: the same operator built geometry-obliviously through
+// the oracle and geometrically through core.Build must agree.
+type kernelSource struct {
+	pts *pointset.Points
+	k   kernel.Pairwise
+}
+
+// FromKernel returns a Source whose entries are k evaluated on pts:
+// At(i, j) = k(pts[i], pts[j]).
+func FromKernel(pts *pointset.Points, k kernel.Pairwise) Source {
+	return &kernelSource{pts: pts, k: k}
+}
+
+func (s *kernelSource) N() int              { return s.pts.Len() }
+func (s *kernelSource) Symmetric() bool     { return s.k.Symmetric() }
+func (s *kernelSource) At(i, j int) float64 { return s.k.EvalPair(s.pts.At(i), s.pts.At(j)) }
+
+func (s *kernelSource) Entry(rows, cols []int, out []float64) {
+	nc := len(cols)
+	for a, i := range rows {
+		xi := s.pts.At(i)
+		dst := out[a*nc:]
+		for b, j := range cols {
+			dst[b] = s.k.EvalPair(xi, s.pts.At(j))
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package oracle
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"h2ds/internal/kernel"
+	"h2ds/internal/mat"
+	"h2ds/internal/pointset"
+)
+
+// gram assembles the dense Gram matrix of kernel k on pts, row-major.
+func gram(t *testing.T, pts *pointset.Points, name string) (kernel.Kernel, []float64) {
+	t.Helper()
+	k, err := kernel.ByName(name)
+	if err != nil {
+		t.Fatalf("kernel: %v", err)
+	}
+	n := pts.Len()
+	data := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			data[i*n+j] = k.EvalPair(pts.At(i), pts.At(j))
+		}
+	}
+	return k, data
+}
+
+func TestDenseBasics(t *testing.T) {
+	d, err := NewDense(2, []float64{1, 2, 3, 4}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 2 || d.Symmetric() {
+		t.Fatalf("n=%d sym=%v", d.N(), d.Symmetric())
+	}
+	if got := d.At(1, 0); got != 3 {
+		t.Fatalf("At(1,0)=%g want 3", got)
+	}
+	out := make([]float64, 2)
+	d.Entry([]int{1}, []int{1, 0}, out)
+	if out[0] != 4 || out[1] != 3 {
+		t.Fatalf("Entry=%v want [4 3]", out)
+	}
+	if _, err := NewDense(3, []float64{1}, false); err == nil {
+		t.Fatal("want size mismatch error")
+	}
+	if _, err := NewDense(0, nil, false); err == nil {
+		t.Fatal("want empty error")
+	}
+}
+
+func TestDenseSize(t *testing.T) {
+	for _, c := range []struct {
+		bytes int64
+		n     int
+		ok    bool
+	}{
+		{8, 1, true}, {32, 2, true}, {8 * 9, 3, true}, {8 * 100 * 100, 100, true},
+		{0, 0, false}, {7, 0, false}, {16, 0, false}, {8 * 10, 0, false},
+	} {
+		n, err := DenseSize(c.bytes)
+		if c.ok && (err != nil || n != c.n) {
+			t.Errorf("DenseSize(%d) = %d, %v; want %d", c.bytes, n, err, c.n)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("DenseSize(%d) accepted", c.bytes)
+		}
+	}
+}
+
+func TestPackLoadDenseRoundTrip(t *testing.T) {
+	vals := []float64{1.5, -2.25, math.Pi, 0, 1e-300, -math.MaxFloat64, 7, 8, 9}
+	path := filepath.Join(t.TempDir(), "m.h2data")
+	if err := os.WriteFile(path, Pack(vals), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadDense(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 3 || !d.Symmetric() {
+		t.Fatalf("n=%d sym=%v", d.N(), d.Symmetric())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if got := d.At(i, j); got != vals[i*3+j] {
+				t.Fatalf("At(%d,%d)=%g want %g", i, j, got, vals[i*3+j])
+			}
+		}
+	}
+	// Non-square payload is rejected.
+	if err := os.WriteFile(path, Pack(vals[:5]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDense(path, false); err == nil {
+		t.Fatal("want non-square error")
+	}
+}
+
+func TestFromKernelMatchesDense(t *testing.T) {
+	pts := pointset.Cube(40, 3, 3)
+	k, data := gram(t, pts, "gaussian")
+	src := FromKernel(pts, k)
+	d, err := NewDense(40, data, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.N() != 40 || !src.Symmetric() {
+		t.Fatalf("adapter shape n=%d sym=%v", src.N(), src.Symmetric())
+	}
+	rows, cols := []int{0, 7, 39}, []int{3, 0, 11, 38}
+	a := make([]float64, len(rows)*len(cols))
+	b := make([]float64, len(rows)*len(cols))
+	src.Entry(rows, cols, a)
+	d.Entry(rows, cols, b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d: kernel %g dense %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEmbedIdentityCoordinate(t *testing.T) {
+	pts := pointset.Cube(200, 3, 5)
+	k, data := gram(t, pts, "gaussian")
+	_ = k
+	src, err := NewDense(200, data, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb := Embed(src)
+	if emb.Len() != 200 || emb.Dim != EmbedDims+1 {
+		t.Fatalf("embed shape %dx%d", emb.Len(), emb.Dim)
+	}
+	for i := 0; i < 200; i++ {
+		if got := Index(emb.At(i)); got != i {
+			t.Fatalf("index %d decoded as %d", i, got)
+		}
+	}
+	// The projection axes are normalized into [-1, 1] and not all zero for a
+	// genuinely geometric source.
+	var maxAbs float64
+	for i := 0; i < 200; i++ {
+		for a := 0; a < EmbedDims; a++ {
+			if v := math.Abs(emb.At(i)[a]); v > maxAbs {
+				maxAbs = v
+			}
+		}
+	}
+	if maxAbs == 0 || maxAbs > 1 {
+		t.Fatalf("projection extent %g, want (0, 1]", maxAbs)
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	pts := pointset.Cube(120, 3, 9)
+	_, data := gram(t, pts, "exp")
+	src, _ := NewDense(120, data, true)
+	a := Embed(src)
+	b := Embed(src)
+	for i := range a.Coords {
+		if a.Coords[i] != b.Coords[i] {
+			t.Fatalf("coord %d differs: %g vs %g", i, a.Coords[i], b.Coords[i])
+		}
+	}
+}
+
+func TestEmbedDegenerate(t *testing.T) {
+	// Constant matrix: all entry-induced distances are zero. The projection
+	// axes stay zero and the identity coordinate still orders the points.
+	n := 30
+	data := make([]float64, n*n)
+	for i := range data {
+		data[i] = 2.5
+	}
+	src, _ := NewDense(n, data, true)
+	emb := Embed(src)
+	for i := 0; i < n; i++ {
+		c := emb.At(i)
+		for a := 0; a < EmbedDims; a++ {
+			if c[a] != 0 {
+				t.Fatalf("degenerate axis %d of point %d = %g", a, i, c[a])
+			}
+		}
+		if Index(c) != i {
+			t.Fatalf("index %d decoded as %d", i, Index(c))
+		}
+	}
+}
+
+func TestEntryKernelAssembleBlock(t *testing.T) {
+	pts := pointset.Cube(60, 3, 11)
+	_, data := gram(t, pts, "gaussian")
+	src, _ := NewDense(60, data, true)
+	ek := NewEntryKernel(src)
+	emb := Embed(src)
+
+	rows, cols := []int{5, 0, 59, 17}, []int{2, 44, 8}
+	blk := kernel.Assemble(&mat.Dense{}, ek, emb, rows, emb, cols)
+	for a, i := range rows {
+		for b, j := range cols {
+			if got, want := blk.At(a, b), src.At(i, j); got != want {
+				t.Fatalf("block (%d,%d) = %g want %g", a, b, got, want)
+			}
+		}
+	}
+	// EvalPair decodes the identity coordinates the same way.
+	if got, want := ek.EvalPair(emb.At(13), emb.At(41)), src.At(13, 41); got != want {
+		t.Fatalf("EvalPair %g want %g", got, want)
+	}
+	if ek.Name() != "" {
+		t.Fatalf("entry kernel name %q, want empty (kernel-less marker)", ek.Name())
+	}
+	if !ek.Symmetric() {
+		t.Fatal("gaussian gram adapter should be symmetric")
+	}
+}

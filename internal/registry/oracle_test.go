@@ -1,0 +1,167 @@
+package registry
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"h2ds/internal/kernel"
+	"h2ds/internal/oracle"
+	"h2ds/internal/pointset"
+)
+
+// writeGramFile writes the dense gaussian Gram matrix of n cube points to a
+// file in the upload wire format and returns the path plus the raw values.
+func writeGramFile(t *testing.T, dir string, n int, seed int64) (string, []float64) {
+	t.Helper()
+	pts := pointset.Cube(n, 3, seed)
+	k, err := kernel.ByName("gaussian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			data[i*n+j] = k.EvalPair(pts.At(i), pts.At(j))
+		}
+	}
+	path := filepath.Join(dir, "gram.h2data")
+	if err := os.WriteFile(path, oracle.Pack(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+func TestDenseSourceBuildAndApply(t *testing.T) {
+	const n = 300
+	dir := t.TempDir()
+	path, data := writeGramFile(t, dir, n, 17)
+
+	reg := New(Config{SpillDir: dir})
+	defer reg.Close()
+	spec := BuildSpec{Source: "dense", DataPath: path, Sym: true, RelTol: 1e-5, Leaf: 40}
+	if err := reg.Create("gram", spec); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := reg.WaitReady(ctx, "gram"); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+
+	inf, ok := reg.Get("gram")
+	if !ok {
+		t.Fatal("instance missing")
+	}
+	if inf.Kernel != "" {
+		t.Fatalf("dense instance reports kernel %q, want empty", inf.Kernel)
+	}
+	if inf.N != n {
+		t.Fatalf("n=%d want %d", inf.N, n)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	y, err := reg.Apply(ctx, "gram", b)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	var num, den float64
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += data[i*n+j] * b[j]
+		}
+		d := y[i] - s
+		num += d * d
+		den += s * s
+	}
+	if e := math.Sqrt(num / den); e > 1e-4 {
+		t.Fatalf("dense-source apply off reference by %.3e", e)
+	}
+}
+
+func TestDenseSourceSpecValidation(t *testing.T) {
+	reg := New(Config{})
+	defer reg.Close()
+	cases := []BuildSpec{
+		{Source: "graph"}, // unknown source
+		{Source: "dense"}, // missing data path
+		{Source: "dense", DataPath: "x", Mem: "otf"},         // stored-only
+		{Source: "dense", DataPath: "x", Mem: "hybrid"},      // stored-only
+		{Source: "dense", DataPath: "x", Basis: "interp"},    // dd only
+		{Source: "dense", DataPath: "x", Sampler: "nope"},    // unknown sampler
+		{Source: "dense", DataPath: "x", RelTol: math.NaN()}, // NaN reltol
+		{Source: "dense", DataPath: "x", Tol: 1.5},           // out-of-range tol
+	}
+	for i, sp := range cases {
+		if err := reg.Create("bad", sp); err == nil {
+			t.Errorf("case %d accepted: %+v", i, sp)
+		}
+	}
+}
+
+// TestDenseSourceSpillRoundTrip: a kernel-less matrix written by the
+// registry's export path loads back through the Path source (the spill /
+// rehydration format) with a bitwise-identical apply.
+func TestDenseSourceSpillRoundTrip(t *testing.T) {
+	const n = 250
+	dir := t.TempDir()
+	path, _ := writeGramFile(t, dir, n, 23)
+
+	reg := New(Config{SpillDir: dir})
+	defer reg.Close()
+	if err := reg.Create("g", BuildSpec{Source: "dense", DataPath: path, Sym: true, Tol: 1e-6, Leaf: 40}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := reg.WaitReady(ctx, "g"); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := reg.Matrix("g")
+	if !ok {
+		t.Fatal("matrix missing")
+	}
+	spill := filepath.Join(dir, "saved.h2")
+	f, err := os.Create(spill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := reg.Create("g2", BuildSpec{Path: spill}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WaitReady(ctx, "g2"); err != nil {
+		t.Fatalf("load-from-path of kernel-less stream: %v", err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	y1, err := reg.Apply(ctx, "g", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := reg.Apply(ctx, "g2", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatalf("apply differs at %d: %g vs %g", i, y1[i], y2[i])
+		}
+	}
+}

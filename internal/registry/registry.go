@@ -909,6 +909,12 @@ func (r *Registry) downgrade(inst *instance, old *version, over int64) bool {
 		return false
 	}
 	m := old.b.Matrix()
+	if m.KernelLess() {
+		// Oracle-built: stored-only by contract, and a loaded instance has no
+		// kernel to re-assemble a reduced block set from. Evict-and-spill —
+		// the spill stream carries the blocks verbatim, so rehydration works.
+		return false
+	}
 	mem := m.Memory()
 	stored := mem.Coupling + mem.Nearfield
 	if stored == 0 || m.Cfg.Mode == core.OnTheFly {

@@ -10,6 +10,7 @@ import (
 
 	"h2ds/internal/core"
 	"h2ds/internal/kernel"
+	"h2ds/internal/oracle"
 	"h2ds/internal/pointset"
 	"h2ds/internal/sample"
 )
@@ -43,6 +44,24 @@ type BuildSpec struct {
 	// every build knob above is ignored.
 	Path string `json:"path,omitempty"`
 
+	// Source selects the construction front-end: "" (default) builds from a
+	// named kernel on a generated point set; "dense" builds
+	// geometry-obliviously from a dense matrix file through the entry
+	// oracle (internal/oracle) — no kernel, no coordinates. Dense builds are
+	// data-driven and stored-only (mem "normal"), since there is no formula
+	// to re-evaluate blocks from at apply time.
+	Source string `json:"source,omitempty"`
+
+	// DataPath is the dense source's matrix file: n·n row-major
+	// little-endian float64 values, no header (n is inferred from the file
+	// size). The upload endpoint writes these files; a spec may also point
+	// at one directly.
+	DataPath string `json:"data_path,omitempty"`
+
+	// Sym declares the dense matrix symmetric (shared bases, triangular
+	// block storage). Trusted, not verified.
+	Sym bool `json:"sym,omitempty"`
+
 	// Replica marks an instance installed from another node's serialized
 	// stream (Registry.Install) rather than built locally. Purely
 	// informational: listings show where an instance came from, and the
@@ -53,6 +72,26 @@ type BuildSpec struct {
 // withDefaults resolves zero build fields to the serving defaults.
 func (sp BuildSpec) withDefaults() BuildSpec {
 	if sp.Path != "" {
+		return sp
+	}
+	if sp.Source == "dense" {
+		// Geometry-oblivious build: kernel/dist/n/dim come from the data
+		// file, and the memory mode is pinned to the only supported one.
+		if sp.Tol == 0 {
+			sp.Tol = 1e-6
+		}
+		if sp.Mem == "" {
+			sp.Mem = "normal"
+		}
+		if sp.Basis == "" {
+			sp.Basis = "dd"
+		}
+		if sp.Sampler == "" {
+			sp.Sampler = "anchornet"
+		}
+		if sp.Seed == 0 {
+			sp.Seed = 1
+		}
 		return sp
 	}
 	if sp.Kernel == "" {
@@ -93,6 +132,27 @@ func (sp BuildSpec) validate() error {
 	if sp.Path != "" {
 		return nil
 	}
+	if sp.Source != "" && sp.Source != "dense" {
+		return fmt.Errorf("registry: unknown source %q (valid: \"\", dense)", sp.Source)
+	}
+	if sp.Source == "dense" {
+		if sp.DataPath == "" {
+			return fmt.Errorf("registry: dense source needs a data_path")
+		}
+		if sp.Mem != "normal" {
+			return fmt.Errorf("registry: dense source is stored-only (mem \"normal\"): mode %q re-evaluates blocks from a kernel the oracle does not have", sp.Mem)
+		}
+		if sp.Basis != "dd" {
+			return fmt.Errorf("registry: dense source requires the data-driven basis, got %q", sp.Basis)
+		}
+		if _, ok := sample.Named(sp.Sampler); !ok {
+			return fmt.Errorf("registry: unknown sampler %q", sp.Sampler)
+		}
+		if sp.N < 0 {
+			return fmt.Errorf("registry: negative n %d", sp.N)
+		}
+		return sp.validateTols()
+	}
 	if _, err := kernel.ByName(sp.Kernel); err != nil {
 		return err
 	}
@@ -114,11 +174,15 @@ func (sp BuildSpec) validate() error {
 	if sp.N < 1 {
 		return fmt.Errorf("registry: n must be positive, got %d", sp.N)
 	}
-	// Both tolerances must be a real number in [0, 1): zero means "use the
-	// default" (tol) or "disabled" (reltol), and a tolerance of 1 or more is
-	// meaningless for a relative accuracy target. NaN in particular would
-	// otherwise slide through every float comparison and build a garbage
-	// matrix.
+	return sp.validateTols()
+}
+
+// validateTols checks both tolerances are a real number in [0, 1): zero
+// means "use the default" (tol) or "disabled" (reltol), and a tolerance of
+// 1 or more is meaningless for a relative accuracy target. NaN in
+// particular would otherwise slide through every float comparison and build
+// a garbage matrix.
+func (sp BuildSpec) validateTols() error {
 	if v := sp.Tol; math.IsNaN(v) || v < 0 || v >= 1 {
 		return fmt.Errorf("registry: tol must be in (0, 1), got %g", v)
 	}
@@ -144,11 +208,36 @@ func maxInt(a, b int) int {
 type Builder func(ctx context.Context, sp BuildSpec, setStage func(string)) (*core.Matrix, error)
 
 // DefaultBuild resolves a spec against the kernel/pointset/sampler name
-// registries and runs core.Build, or loads from sp.Path via core.ReadAny.
+// registries and runs core.Build, loads from sp.Path via core.ReadAny, or —
+// for the "dense" source — loads the matrix file into an entry oracle and
+// runs the geometry-oblivious core.BuildOracle.
 func DefaultBuild(ctx context.Context, sp BuildSpec, setStage func(string)) (*core.Matrix, error) {
 	if sp.Path != "" {
 		setStage("load")
 		return loadMatrix(sp.Path)
+	}
+	if sp.Source == "dense" {
+		setStage("load-data")
+		src, err := oracle.LoadDense(sp.DataPath, sp.Sym)
+		if err != nil {
+			return nil, err
+		}
+		if sp.N > 0 && src.N() != sp.N {
+			return nil, fmt.Errorf("registry: data file holds a %d×%d matrix, spec says n=%d", src.N(), src.N(), sp.N)
+		}
+		s, ok := sample.Named(sp.Sampler)
+		if !ok {
+			return nil, fmt.Errorf("registry: unknown sampler %q", sp.Sampler)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		setStage("build")
+		return core.BuildOracle(src, core.Config{
+			Kind: core.DataDriven, Mode: core.Normal,
+			Tol: sp.Tol, RelTol: sp.RelTol, LeafSize: sp.Leaf,
+			Workers: sp.Workers, Sampler: s,
+		})
 	}
 	k, err := kernel.ByName(sp.Kernel)
 	if err != nil {
