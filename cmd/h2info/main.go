@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"h2ds/internal/core"
 	"h2ds/internal/kernel"
@@ -105,6 +106,16 @@ func main() {
 		st.MaxRank, st.SumLeafRank, float64(st.SumLeafRank)/float64(st.Leaves))
 	fmt.Printf("build: total %v (tree %v, sampling %v, basis %v, coupling %v)\n",
 		st.Total, st.TreeTime, st.SampleTime, st.BasisTime, st.CouplingTime)
+	if ph := st.Phases; ph.TotalNS > 0 {
+		// Assembly/ID/transfer are summed across workers, so they can exceed
+		// the wall-clock basis time above.
+		suffix := ""
+		if ph.CacheHit {
+			suffix = " [construction-cache hit: sampling reused]"
+		}
+		fmt.Printf("phases (cpu): assembly %v, leaf ID %v, transfer %v%s\n",
+			time.Duration(ph.AssemblyNS), time.Duration(ph.IDNS), time.Duration(ph.TransferNS), suffix)
+	}
 	fmt.Printf("memory: %v\n", m.Memory())
 	if st.RelTol > 0 {
 		fmt.Printf("error-controlled: reltol=%.0e, a-posteriori estimate %.3e\n", st.RelTol, st.EstRelErr)

@@ -85,6 +85,7 @@ func run() error {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline for apply endpoints (0 = none)")
 
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the service address")
+	buildCache := flag.Int("buildcache", 0, "construction-cache entries shared across tenant builds: same-geometry tenants and hot-swap rebuilds reuse the tree + sampling hierarchy (0 = default, negative = disable)")
 	builders := flag.Int("builders", 2, "concurrent build workers for POST /matrices")
 	buildQueue := flag.Int("buildqueue", 8, "accepted-but-not-started build limit")
 	budgetMB := flag.Int64("membudget", 0, "total matrix memory budget in MiB across ready instances (0 = unlimited); exceeding it evicts the least-recently-applied instance")
@@ -106,10 +107,11 @@ func run() error {
 	}
 
 	reg := registry.New(registry.Config{
-		Workers:    *builders,
-		QueueDepth: *buildQueue,
-		MemBudget:  *budgetMB << 20,
-		SpillDir:   *spill,
+		Workers:      *builders,
+		QueueDepth:   *buildQueue,
+		MemBudget:    *budgetMB << 20,
+		SpillDir:     *spill,
+		CacheEntries: *buildCache,
 		Batch: serve.Config{
 			MaxBatch:    *maxBatch,
 			FlushWindow: *window,

@@ -423,6 +423,11 @@ func StatsHandler(reg *registry.Registry) http.HandlerFunc {
 		EstRelErr  float64          `json:"est_relerr,omitempty"`
 		MaxRank    int              `json:"max_rank,omitempty"`
 		LevelRanks []core.LevelRank `json:"level_ranks,omitempty"`
+
+		// Phases is the construction-phase breakdown of the live build
+		// (absent for loaded matrices); cache_hit with sample_ns == 0 marks
+		// a construction-cache reuse.
+		Phases *core.BuildPhases `json:"phases,omitempty"`
 	}
 	return func(w http.ResponseWriter, _ *http.Request) {
 		out := struct {
@@ -437,6 +442,7 @@ func StatsHandler(reg *registry.Registry) http.HandlerFunc {
 				Mode: inf.Mode, Basis: inf.Basis,
 				RelTol: inf.RelTol, EstRelErr: inf.EstRelErr,
 				MaxRank: inf.MaxRank, LevelRanks: inf.LevelRanks,
+				Phases: inf.Phases,
 			}
 			out.Serve = inf.Serve
 			if m, ok := reg.Matrix(DefaultInstance); ok {

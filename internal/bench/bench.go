@@ -121,7 +121,7 @@ func (o Options) seed() int64 {
 
 // Experiments lists the runnable experiment ids in paper order.
 func Experiments() []string {
-	return []string{"fig2", "fig4", "fig5", "fig6", "table1", "fig7", "fig8", "fig9", "ablation", "rhs", "serve", "registry", "matvec", "reltol", "cluster", "oracle"}
+	return []string{"fig2", "fig4", "fig5", "fig6", "table1", "fig7", "fig8", "fig9", "ablation", "rhs", "serve", "registry", "matvec", "reltol", "cluster", "oracle", "build"}
 }
 
 // Run executes one experiment ("fig2", ..., "table1", "ablation") or "all".
@@ -159,6 +159,8 @@ func Run(exp string, opt Options) error {
 		return ClusterBench(opt)
 	case "oracle":
 		return OracleBench(opt)
+	case "build":
+		return BuildBench(opt)
 	case "all":
 		for _, e := range Experiments() {
 			if err := Run(e, opt); err != nil {

@@ -43,7 +43,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestExperimentsList(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 16 {
+	if len(ids) != 17 {
 		t.Fatalf("experiment list changed unexpectedly: %v", ids)
 	}
 	seen := map[string]bool{}

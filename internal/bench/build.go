@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"h2ds/internal/core"
+	"h2ds/internal/par"
+	"h2ds/internal/pointset"
+)
+
+// BuildRun is one measured construction configuration in the build section of
+// BENCH_matvec.json. Mode distinguishes the current build path ("blocked":
+// blocked CPQR + fused panel assembly) from the pre-acceleration baseline
+// ("seed": unblocked CPQR, per-entry assembly, via core.Config.
+// SeedConstruction); the blocked/seed pair at workers=1 is the cross-PR
+// build-speed record. Build time is the median over Samples full builds;
+// PeakRSSKiB is the process high-water mark after the row's builds (ru_maxrss
+// is monotone over the process lifetime, so rows only ever raise it).
+type BuildRun struct {
+	N             int     `json:"n"`
+	Leaf          int     `json:"leaf"`
+	Workers       int     `json:"workers"`
+	Mode          string  `json:"mode"`
+	RelTol        float64 `json:"reltol"`
+	Samples       int     `json:"samples"`
+	MedianBuildNS int64   `json:"median_build_ns"`
+	PeakRSSKiB    int64   `json:"peak_rss_kib"`
+	EstRelErr     float64 `json:"est_relerr"`
+	RelErr        float64 `json:"relerr"`
+}
+
+// buildCases picks the construction sweep sizes per scale. Every scale that
+// CI or the acceptance run uses keeps n=20000 reachable: the paper-scale
+// improvement target is measured there.
+func buildCases(scale string) []int {
+	switch scale {
+	case "tiny":
+		return []int{2000}
+	case "medium":
+		return []int{5000, 20000, 40000}
+	case "paper":
+		return []int{20000, 80000}
+	default: // small
+		return []int{5000, 20000}
+	}
+}
+
+// buildWorkerSweep is the worker axis: 1 (the like-for-like baseline
+// comparison point) up to the resolved thread count, powers of two between.
+func buildWorkerSweep(resolved int) []int {
+	ws := []int{1}
+	for w := 2; w < resolved; w *= 2 {
+		ws = append(ws, w)
+	}
+	if resolved > 1 {
+		ws = append(ws, resolved)
+	}
+	return ws
+}
+
+// BuildBench measures wall-clock construction time across problem sizes and
+// worker counts in error-controlled mode, comparing the current build path
+// against the seed-era one (unblocked CPQR, per-entry assembly) at one
+// worker. Rows land in the build section of BENCH_matvec.json next to the
+// apply trajectory.
+//
+// Self-asserting: every build's a-posteriori certificate must come in at or
+// under the requested tolerance, so running the experiment (CI runs it at
+// -scale tiny, n=2000) is itself a correctness check on the accelerated
+// construction path.
+func BuildBench(opt Options) error {
+	out := opt.out()
+	k, err := opt.kernel()
+	if err != nil {
+		return err
+	}
+	reltol := opt.RelTol
+	if reltol <= 0 {
+		reltol = 1e-6
+	}
+	resolved := par.Resolve(opt.Threads)
+	samples := opt.reps()
+	if samples < 3 {
+		samples = 3
+	}
+	fmt.Fprintf(out, "\n# build: construction-time trajectory (kernel=%s reltol=%.0e scale=%s samples=%d)\n",
+		k.Name(), reltol, opt.Scale, samples)
+	tb := newTable(out, "median build time and peak RSS",
+		"n", "leaf", "workers", "mode", "build_ms", "peak_rss_MiB", "est err", "relerr")
+
+	var runs []BuildRun
+	measure := func(n, leaf, workers int, mode string, cfg core.Config) error {
+		pts := pointset.Cube(n, 3, opt.seed())
+		times := make([]int64, samples)
+		var m *core.Matrix
+		for s := range times {
+			t0 := time.Now()
+			mm, err := core.Build(pts, k, cfg)
+			if err != nil {
+				return fmt.Errorf("build n=%d %s: %w", n, mode, err)
+			}
+			times[s] = time.Since(t0).Nanoseconds()
+			m = mm
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+
+		b := randVec(n, opt.seed()+7)
+		y := m.Apply(b)
+		run := BuildRun{
+			N: n, Leaf: leaf, Workers: workers, Mode: mode, RelTol: reltol,
+			Samples:       samples,
+			MedianBuildNS: times[len(times)/2],
+			PeakRSSKiB:    peakRSSKiB(),
+			EstRelErr:     m.Stats().EstRelErr,
+			RelErr:        m.RelErrorVs(b, y, core.DefaultErrorRows, opt.seed()+13),
+		}
+		if run.EstRelErr > reltol {
+			return fmt.Errorf("build bench: n=%d %s certificate %.3e exceeds requested reltol %g",
+				n, mode, run.EstRelErr, reltol)
+		}
+		runs = append(runs, run)
+		tb.row(fmt.Sprintf("%d", n), fmt.Sprintf("%d", leaf), fmt.Sprintf("%d", workers), mode,
+			fmt.Sprintf("%.1f", float64(run.MedianBuildNS)/1e6),
+			fmt.Sprintf("%.1f", float64(run.PeakRSSKiB)/1024),
+			fmt.Sprintf("%.2e", run.EstRelErr), fmt.Sprintf("%.2e", run.RelErr))
+		return nil
+	}
+
+	for _, n := range buildCases(opt.Scale) {
+		leaf := leafSizeFor(n)
+		// Normal mode: stored-block assembly is part of the build (and of the
+		// acceleration), and the certificate apply reads stored blocks instead
+		// of re-evaluating the kernel, so the rows measure construction, not
+		// the apply path.
+		base := core.Config{Kind: core.DataDriven, Mode: core.Normal, RelTol: reltol,
+			LeafSize: leaf, Sampler: opt.sampler()}
+
+		// Seed-era baseline, one worker: the denominator of the speedup record.
+		seedCfg := base
+		seedCfg.Workers = 1
+		seedCfg.SeedConstruction = true
+		if err := measure(n, leaf, 1, "seed", seedCfg); err != nil {
+			return err
+		}
+		for _, w := range buildWorkerSweep(resolved) {
+			cfg := base
+			cfg.Workers = w
+			if err := measure(n, leaf, w, "blocked", cfg); err != nil {
+				return err
+			}
+		}
+	}
+	tb.flush()
+
+	// Report the headline single-worker speedup per n.
+	for _, n := range buildCases(opt.Scale) {
+		var seedNS, blockedNS int64
+		for _, r := range runs {
+			if r.N == n && r.Workers == 1 {
+				switch r.Mode {
+				case "seed":
+					seedNS = r.MedianBuildNS
+				case "blocked":
+					blockedNS = r.MedianBuildNS
+				}
+			}
+		}
+		if seedNS > 0 && blockedNS > 0 {
+			fmt.Fprintf(out, "\nn=%d single-worker build: seed %.1f ms, blocked %.1f ms (%.2fx)\n",
+				n, float64(seedNS)/1e6, float64(blockedNS)/1e6, float64(seedNS)/float64(blockedNS))
+		}
+	}
+
+	// Merge into BENCH_matvec.json: this experiment owns the build section,
+	// every other experiment's rows are preserved.
+	path := opt.JSONOut
+	if path == "" {
+		path = "BENCH_matvec.json"
+	}
+	rep := MatvecReport{Experiment: "matvec", Scale: opt.Scale, Kernel: k.Name(), Workers: resolved}
+	if buf, err := os.ReadFile(path); err == nil {
+		json.Unmarshal(buf, &rep)
+	}
+	rep.Build = runs
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nwrote %s (build section)\n", path)
+	return nil
+}

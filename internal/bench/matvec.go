@@ -54,6 +54,13 @@ type MatvecReport struct {
 	// path and through the dense entry oracle, side by side. Owned by
 	// OracleBench; MatvecJSON preserves it.
 	Oracle []OracleRun `json:"oracle,omitempty"`
+
+	// Build is the construction-time trajectory (the build experiment):
+	// median build time and peak RSS across problem sizes and worker counts,
+	// with the seed-era construction path (unblocked CPQR, per-entry
+	// assembly) as the single-worker baseline. Owned by BuildBench;
+	// MatvecJSON preserves it.
+	Build []BuildRun `json:"build,omitempty"`
 }
 
 // matvecCases returns the (n, leaf) grid for the given scale. The small-n
@@ -166,6 +173,7 @@ func MatvecJSON(opt Options) error {
 			rep.RelTolSweep = old.RelTolSweep
 			rep.Cluster = old.Cluster
 			rep.Oracle = old.Oracle
+			rep.Build = old.Build
 		}
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package bench
+
+// peakRSSKiB has no getrusage on this platform; BuildRun rows report 0.
+func peakRSSKiB() int64 { return 0 }

@@ -1,0 +1,21 @@
+//go:build unix
+
+package bench
+
+import "syscall"
+
+// peakRSSKiB reports the process's resident-set high-water mark in KiB via
+// getrusage. Linux reports ru_maxrss in KiB already; Darwin reports bytes —
+// normalized here so BuildRun rows are comparable across platforms.
+func peakRSSKiB() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	kib := int64(ru.Maxrss)
+	if kib > 1<<32 {
+		// Darwin-style bytes; anything above 4 TiB "KiB" is not a real RSS.
+		kib >>= 10
+	}
+	return kib
+}

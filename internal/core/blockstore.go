@@ -88,16 +88,94 @@ func (s *BlockStore) Put(i, j int, b *mat.Dense) {
 // Freeze marks construction as complete and compacts the store into its
 // frozen CSR form: subsequent reads are lock-free, map-free, and stream one
 // contiguous payload slab; further Puts panic. All Puts must happen-before
-// Freeze (the builder's parallel-for barrier guarantees this). Freeze is
-// idempotent.
+// Freeze (the builder's parallel-for barrier guarantees this). Stores laid
+// out by Preallocate are already in CSR form — Freeze then only flips the
+// frozen bit. Freeze is idempotent.
 func (s *BlockStore) Freeze() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.frozen.Load() {
 		return
 	}
-	s.compact()
+	if s.rowPtr == nil {
+		s.compact()
+	}
 	s.frozen.Store(true)
+}
+
+// PutSpec describes one block of a Preallocate layout: its store key and
+// payload shape.
+type PutSpec struct {
+	I, J       int
+	Rows, Cols int
+}
+
+// Preallocate lays out the frozen CSR form for exactly the given blocks and
+// returns one slab-backed view per spec, parallel to specs: callers
+// assemble each payload directly into its view (the views are
+// write-disjoint, so parallel assembly is safe) and then call Freeze, which
+// only flips the frozen bit. This skips the build-phase map and the
+// Freeze-time compact copy entirely — the accelerated normal-mode build
+// path. The resulting layout is identical to Put+Freeze: blocks sorted by
+// (i, j) in one contiguous slab.
+//
+// Must be called once, on an empty store; Put may not be mixed with it.
+func (s *BlockStore) Preallocate(specs []PutSpec) []*mat.Dense {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rowPtr != nil || len(s.blocks) > 0 {
+		panic("core: BlockStore.Preallocate on a non-empty store")
+	}
+	ord := make([]int, len(specs))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		sa, sb := specs[ord[a]], specs[ord[b]]
+		if sa.I != sb.I {
+			return sa.I < sb.I
+		}
+		return sa.J < sb.J
+	})
+	maxI := -1
+	var slabLen, maxBlk int64
+	for _, sp := range specs {
+		if !s.directed && sp.I > sp.J {
+			panic("core: BlockStore.Preallocate requires i <= j (symmetric storage)")
+		}
+		if sp.I > maxI {
+			maxI = sp.I
+		}
+		sz := int64(sp.Rows) * int64(sp.Cols)
+		slabLen += sz
+		if bb := sz * 8; bb > maxBlk {
+			maxBlk = bb
+		}
+	}
+
+	s.rowPtr = make([]int32, maxI+2)
+	s.colIdx = make([]int32, len(specs))
+	s.hdr = make([]mat.Dense, len(specs))
+	s.slab = make([]float64, slabLen)
+	out := make([]*mat.Dense, len(specs))
+	var off int64
+	for k, oi := range ord {
+		sp := specs[oi]
+		sz := int64(sp.Rows) * int64(sp.Cols)
+		s.hdr[k] = mat.Dense{Rows: sp.Rows, Cols: sp.Cols, Data: s.slab[off : off+sz]}
+		s.colIdx[k] = int32(sp.J)
+		s.rowPtr[sp.I+1]++
+		out[oi] = &s.hdr[k]
+		off += sz
+	}
+	for i := 1; i < len(s.rowPtr); i++ {
+		s.rowPtr[i] += s.rowPtr[i-1]
+	}
+	s.frozenBytes = slabLen*8 + int64(len(s.hdr))*40 + int64(len(s.rowPtr)+len(s.colIdx))*4
+	s.frozenMaxBlk = maxBlk
+	s.index = nil
+	s.blocks = nil
+	return out
 }
 
 // compact builds the CSR index and payload slab from the build-phase map and

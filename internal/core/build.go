@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
+	"runtime/pprof"
 	"time"
 
 	"h2ds/internal/interp"
 	"h2ds/internal/kernel"
 	"h2ds/internal/mat"
 	"h2ds/internal/par"
+	"h2ds/internal/pointset"
 	"h2ds/internal/sample"
 )
 
@@ -32,18 +35,46 @@ func (s swapped) EvalPair(x, y []float64) float64 { return s.k.EvalPair(y, x) }
 func (s swapped) Symmetric() bool                 { return s.k.Symmetric() }
 func (s swapped) Name() string                    { return s.k.Name() + "-swapped" }
 
+// newBlock assembles a kernel tile on the fused chunked path, or the
+// per-entry seed path under Cfg.SeedConstruction (bench baseline /
+// equivalence suites only — the two are bitwise identical).
+func (m *Matrix) newBlock(k kernel.Pairwise, x *pointset.Points, rows []int, y *pointset.Points, cols []int) *mat.Dense {
+	if m.Cfg.SeedConstruction {
+		return kernel.NewBlockSeed(k, x, rows, y, cols)
+	}
+	return kernel.NewBlock(k, x, rows, y, cols)
+}
+
+// buildPhase runs fn with a pprof label attributing its CPU samples to the
+// named construction phase, so -pprof profiles of a serving process split
+// build cost by phase. Labels attach to the calling goroutine (which
+// participates in every pool loop as worker 0); pool workers spawned before
+// the phase keep their own labels.
+func buildPhase(name string, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels("h2phase", name), func(context.Context) { fn() })
+}
+
 // buildDataDriven runs the paper's new construction (§II-A): hierarchical
 // sampling (Algorithm 1) followed by a bottom-to-top sweep of row
 // interpolative decompositions that yields nested bases whose skeletons are
 // actual dataset points — making every coupling block a kernel submatrix.
 func (m *Matrix) buildDataDriven() {
-	t0 := time.Now()
 	if m.Cfg.ReuseHierarchy != nil {
+		// Shared hierarchy (library-level Reuse* or a construction-cache
+		// hit): no sampling runs, so no sample time is charged.
 		m.hier = m.Cfg.ReuseHierarchy
 	} else {
-		m.hier = sample.Run(m.Tree, m.Cfg.Sampler, m.Cfg.SampleBudget, m.Cfg.Workers)
+		smp := m.Cfg.Sampler
+		if m.Cfg.SeedConstruction {
+			// A/B baseline: the pre-acceleration candidate scans, same output.
+			smp = sample.Reference(smp)
+		}
+		t0 := time.Now()
+		buildPhase("sample", func() {
+			m.hier = sample.Run(m.Tree, smp, m.Cfg.SampleBudget, m.Cfg.Workers)
+		})
+		m.stats.SampleTime = time.Since(t0)
 	}
-	m.stats.SampleTime = time.Since(t0)
 
 	t1 := time.Now()
 	maxRank := m.Cfg.MaxRank
@@ -57,22 +88,37 @@ func (m *Matrix) buildDataDriven() {
 	// are independent. For unsymmetric kernels a second ID on the
 	// transposed farfield panel produces the column-side generators
 	// (V, W); for symmetric kernels the row side serves both roles.
-	for l := m.Tree.Depth() - 1; l >= 0; l-- {
-		level := m.Tree.Levels[l]
-		m.parFor(len(level), func(k int) {
-			id := level[k]
-			nd := &m.Tree.Nodes[id]
-			m.skelPts[id] = m.Tree.Points
-			ystar := m.hier.YStar[id]
+	buildPhase("basis", func() {
+		for l := m.Tree.Depth() - 1; l >= 0; l-- {
+			level := m.Tree.Levels[l]
+			node := func(k int, pool *par.Pool) {
+				id := level[k]
+				nd := &m.Tree.Nodes[id]
+				m.skelPts[id] = m.Tree.Points
+				ystar := m.hier.YStar[id]
 
-			m.buildNodeSide(id, nd.IsLeaf, ystar, m.Kern, idTol, maxRank,
-				m.skel, m.ranks, m.u, m.trans)
-			if !m.sharedBasis {
-				m.buildNodeSide(id, nd.IsLeaf, ystar, swapped{m.Kern}, idTol, maxRank,
-					m.colSkel, m.colRanks, m.v, m.wTrans)
+				m.buildNodeSide(id, nd.IsLeaf, ystar, m.Kern, idTol, maxRank,
+					m.skel, m.ranks, m.u, m.trans, pool)
+				if !m.sharedBasis {
+					m.buildNodeSide(id, nd.IsLeaf, ystar, swapped{m.Kern}, idTol, maxRank,
+						m.colSkel, m.colRanks, m.v, m.wTrans, pool)
+				}
 			}
-		})
-	}
+			if m.buildPool != nil && len(level)*2 <= m.buildPool.Workers() {
+				// Near the root there are fewer nodes than workers, so
+				// per-node parallelism starves the pool exactly where the
+				// panels are largest. Iterate the nodes sequentially and
+				// hand the whole pool to each node's blocked CPQR instead
+				// (par.Pool serves one client at a time, so the pool must
+				// never be passed down from inside m.parFor).
+				for k := range level {
+					node(k, m.buildPool)
+				}
+			} else {
+				m.parFor(len(level), func(k int) { node(k, nil) })
+			}
+		}
+	})
 	m.stats.BasisTime = time.Since(t1)
 }
 
@@ -80,8 +126,11 @@ func (m *Matrix) buildDataDriven() {
 // compression: assemble the farfield panel K(candidates, Y*) under kern
 // (the swapped kernel for the column side), row-ID it, and record the
 // skeleton, rank, and basis/transfer factor into the given side arrays.
+// Assembly and factorization time land in the matrix's phase counters
+// (assembly everywhere, ID for leaves, transfer for internal nodes).
 func (m *Matrix) buildNodeSide(id int, isLeaf bool, ystar []int, kern kernel.Pairwise,
-	idTol float64, maxRank int, skel [][]int, ranks []int, basis, trans []*mat.Dense) {
+	idTol float64, maxRank int, skel [][]int, ranks []int, basis, trans []*mat.Dense,
+	pool *par.Pool) {
 
 	var cand []int
 	if isLeaf {
@@ -102,8 +151,21 @@ func (m *Matrix) buildNodeSide(id int, isLeaf bool, ystar []int, kern kernel.Pai
 		}
 		return
 	}
-	a := kernel.NewBlock(kern, m.Tree.Points, cand, m.Tree.Points, ystar)
-	id2 := mat.NewRowID(a, idTol, maxRank)
+	ta := time.Now()
+	a := m.newBlock(kern, m.Tree.Points, cand, m.Tree.Points, ystar)
+	ti := time.Now()
+	m.phaseAssembly.Add(ti.Sub(ta).Nanoseconds())
+	var id2 *mat.RowID
+	if m.Cfg.SeedConstruction {
+		id2 = mat.NewRowIDUnblocked(a, idTol, maxRank)
+	} else {
+		id2 = mat.NewRowIDPool(a, idTol, maxRank, pool)
+	}
+	if isLeaf {
+		m.phaseID.Add(time.Since(ti).Nanoseconds())
+	} else {
+		m.phaseTransfer.Add(time.Since(ti).Nanoseconds())
+	}
 	sel := make([]int, id2.Rank)
 	for s, loc := range id2.Skel {
 		sel[s] = cand[loc]

@@ -143,6 +143,23 @@ type Config struct {
 	// data-driven construction and uses these sample sets (which must have
 	// been produced on ReuseTree).
 	ReuseHierarchy *sample.Hierarchy
+
+	// Cache, when non-nil, consults and feeds a construction cache: before
+	// building, the point geometry and tree/sampling parameters are
+	// fingerprinted and a hit supplies ReuseTree+ReuseHierarchy
+	// automatically (observable as Phases.CacheHit with SampleNS == 0); a
+	// miss inserts the freshly built pair. Only data-driven builds without
+	// explicit Reuse* settings participate. The registry shares one cache
+	// across tenants so geometries repeated under different kernels or
+	// tolerances skip Algorithm 1 entirely.
+	Cache *BuildCache
+
+	// SeedConstruction forces construction down the pre-acceleration paths
+	// (unblocked CPQR, per-entry panel assembly, reference sampler scans).
+	// Every path pair produces identical matrices — this knob only selects
+	// the slow implementations. It exists for the build bench's baseline
+	// rows and the equivalence suites; serving code should leave it false.
+	SeedConstruction bool
 }
 
 // withDefaults returns cfg with zero fields resolved.

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"h2ds/internal/kernel"
@@ -76,6 +77,14 @@ type Matrix struct {
 	// exists only for the bitwise-equivalence tests.
 	seedOTF bool
 
+	// Construction-phase attribution (ns), accumulated across pool workers
+	// during the basis sweep: farfield panel assembly, leaf-node IDs, and
+	// internal-node (transfer) IDs. Because workers run concurrently, the
+	// summed counters can exceed the wall-clock BasisTime.
+	phaseAssembly atomic.Int64
+	phaseID       atomic.Int64
+	phaseTransfer atomic.Int64
+
 	stats  BuildStats
 	sweeps sweepTimers
 }
@@ -108,6 +117,28 @@ type BuildStats struct {
 	// reports the accuracy it was verified at.
 	RelTol    float64
 	EstRelErr float64
+
+	// Phases is the per-phase construction breakdown, surfaced by h2info
+	// and the serving /stats and /matrices/{name} endpoints. It is not
+	// serialized; a loaded matrix reports zero phases.
+	Phases BuildPhases
+}
+
+// BuildPhases attributes construction time (nanoseconds) to pipeline
+// phases. TreeNS, SampleNS, CouplingNS, and TotalNS are wall-clock;
+// AssemblyNS, IDNS, and TransferNS are summed across construction workers
+// and can exceed the wall-clock basis time. On a construction-cache hit
+// (CacheHit true) the tree and hierarchy are reused, so SampleNS is zero —
+// the observable receipt that Algorithm 1 was skipped.
+type BuildPhases struct {
+	TreeNS     int64 `json:"tree_ns"`
+	SampleNS   int64 `json:"sample_ns"`
+	AssemblyNS int64 `json:"assembly_ns"`
+	IDNS       int64 `json:"id_ns"`
+	TransferNS int64 `json:"transfer_ns"`
+	CouplingNS int64 `json:"coupling_ns"`
+	TotalNS    int64 `json:"total_ns"`
+	CacheHit   bool  `json:"cache_hit"`
 }
 
 // LevelRank is the achieved rank summary of one tree level.
@@ -133,6 +164,22 @@ func Build(pts *pointset.Points, k kernel.Pairwise, cfg Config) (*Matrix, error)
 	}
 	cfg = cfg.withDefaults(pts.Dim)
 	start := time.Now()
+
+	// Construction cache: a fingerprint hit supplies the tree and sampling
+	// hierarchy of an earlier build over the same geometry+parameters, so
+	// Algorithm 1 (and the tree partition) are skipped entirely. Explicit
+	// Reuse* settings take precedence and bypass the cache.
+	var cacheFP uint64
+	cacheable := cfg.Cache != nil && cfg.Kind == DataDriven &&
+		cfg.ReuseTree == nil && cfg.ReuseHierarchy == nil
+	cacheHit := false
+	if cacheable {
+		cacheFP = constructionFingerprint(pts, cfg)
+		if tr, hr, ok := cfg.Cache.lookup(cacheFP, pts.Len(), pts.Dim); ok {
+			cfg.ReuseTree, cfg.ReuseHierarchy = tr, hr
+			cacheHit = true
+		}
+	}
 
 	m := &Matrix{Cfg: cfg, Kern: k, N: pts.Len(), Dim: pts.Dim}
 	m.buildPool = par.NewPool(cfg.Workers)
@@ -196,7 +243,20 @@ func Build(pts *pointset.Points, k kernel.Pairwise, cfg Config) (*Matrix, error)
 		m.stats.RelTol = cfg.RelTol
 		m.stats.EstRelErr = m.aPosterioriError()
 	}
+	if cacheable && !cacheHit {
+		cfg.Cache.insert(cacheFP, pts.Len(), pts.Dim, m.Tree, m.hier)
+	}
 	m.stats.Total = time.Since(start)
+	m.stats.Phases = BuildPhases{
+		TreeNS:     m.stats.TreeTime.Nanoseconds(),
+		SampleNS:   m.stats.SampleTime.Nanoseconds(),
+		AssemblyNS: m.phaseAssembly.Load(),
+		IDNS:       m.phaseID.Load(),
+		TransferNS: m.phaseTransfer.Load(),
+		CouplingNS: m.stats.CouplingTime.Nanoseconds(),
+		TotalNS:    m.stats.Total.Nanoseconds(),
+		CacheHit:   cacheHit,
+	}
 	return m, nil
 }
 
@@ -350,19 +410,63 @@ func (m *Matrix) storeBlocks() {
 		}
 	}
 
-	m.parFor(len(coupPairs), func(k int) {
-		p := coupPairs[k]
-		if m.ranks[p.i] == 0 || m.colRank(p.j) == 0 {
-			return
+	if m.Cfg.SeedConstruction {
+		// Seed-era flow: individually allocated blocks into the build-phase
+		// map, copied into the CSR slab at Freeze.
+		buildPhase("coupling", func() {
+			m.parFor(len(coupPairs), func(k int) {
+				p := coupPairs[k]
+				if m.ranks[p.i] == 0 || m.colRank(p.j) == 0 {
+					return
+				}
+				b := m.newBlock(m.Kern, m.skelPts[p.i], m.skel[p.i], m.skelPts[p.j], m.colSkeleton(p.j))
+				m.coup.Put(p.i, p.j, b)
+			})
+		})
+		buildPhase("nearfield", func() {
+			m.parFor(len(nearPairs), func(k int) {
+				p := nearPairs[k]
+				ni, nj := &m.Tree.Nodes[p.i], &m.Tree.Nodes[p.j]
+				b := m.newBlock(m.Kern, m.Tree.Points, m.allIdx[ni.Start:ni.End], m.Tree.Points, m.allIdx[nj.Start:nj.End])
+				m.near.Put(p.i, p.j, b)
+			})
+		})
+		m.coup.Freeze()
+		m.near.Freeze()
+		return
+	}
+
+	// Accelerated flow: block shapes are known before assembly, so lay out
+	// the frozen CSR slab first and assemble every payload in place through
+	// the fused tile path — no per-block allocations, no Freeze-time copy.
+	coupKeep := coupPairs[:0]
+	for _, p := range coupPairs {
+		if m.ranks[p.i] > 0 && m.colRank(p.j) > 0 {
+			coupKeep = append(coupKeep, p)
 		}
-		b := kernel.NewBlock(m.Kern, m.skelPts[p.i], m.skel[p.i], m.skelPts[p.j], m.colSkeleton(p.j))
-		m.coup.Put(p.i, p.j, b)
+	}
+	coupSpecs := make([]PutSpec, len(coupKeep))
+	for k, p := range coupKeep {
+		coupSpecs[k] = PutSpec{I: p.i, J: p.j, Rows: len(m.skel[p.i]), Cols: len(m.colSkeleton(p.j))}
+	}
+	coupDst := m.coup.Preallocate(coupSpecs)
+	buildPhase("coupling", func() {
+		m.parFor(len(coupKeep), func(k int) {
+			p := coupKeep[k]
+			kernel.Assemble(coupDst[k], m.Kern, m.skelPts[p.i], m.skel[p.i], m.skelPts[p.j], m.colSkeleton(p.j))
+		})
 	})
-	m.parFor(len(nearPairs), func(k int) {
-		p := nearPairs[k]
-		ni, nj := &m.Tree.Nodes[p.i], &m.Tree.Nodes[p.j]
-		b := kernel.NewBlock(m.Kern, m.Tree.Points, m.allIdx[ni.Start:ni.End], m.Tree.Points, m.allIdx[nj.Start:nj.End])
-		m.near.Put(p.i, p.j, b)
+	nearSpecs := make([]PutSpec, len(nearPairs))
+	for k, p := range nearPairs {
+		nearSpecs[k] = PutSpec{I: p.i, J: p.j, Rows: m.Tree.Nodes[p.i].Size(), Cols: m.Tree.Nodes[p.j].Size()}
+	}
+	nearDst := m.near.Preallocate(nearSpecs)
+	buildPhase("nearfield", func() {
+		m.parFor(len(nearPairs), func(k int) {
+			p := nearPairs[k]
+			ni, nj := &m.Tree.Nodes[p.i], &m.Tree.Nodes[p.j]
+			kernel.Assemble(nearDst[k], m.Kern, m.Tree.Points, m.allIdx[ni.Start:ni.End], m.Tree.Points, m.allIdx[nj.Start:nj.End])
+		})
 	})
 	// Construction is complete: switch both stores to lock-free reads for
 	// the matvec hot path.
@@ -479,16 +583,18 @@ func (m *Matrix) storeBlocksHybrid(budget int64) {
 		used += cost
 	}
 
-	m.parFor(len(selected), func(k int) {
-		c := selected[k]
-		if c.near {
-			ni, nj := &m.Tree.Nodes[c.i], &m.Tree.Nodes[c.j]
-			b := kernel.NewBlock(m.Kern, m.Tree.Points, m.allIdx[ni.Start:ni.End], m.Tree.Points, m.allIdx[nj.Start:nj.End])
-			m.near.Put(c.i, c.j, b)
-			return
-		}
-		b := kernel.NewBlock(m.Kern, m.skelPts[c.i], m.skel[c.i], m.skelPts[c.j], m.colSkeleton(c.j))
-		m.coup.Put(c.i, c.j, b)
+	buildPhase("coupling", func() {
+		m.parFor(len(selected), func(k int) {
+			c := selected[k]
+			if c.near {
+				ni, nj := &m.Tree.Nodes[c.i], &m.Tree.Nodes[c.j]
+				b := m.newBlock(m.Kern, m.Tree.Points, m.allIdx[ni.Start:ni.End], m.Tree.Points, m.allIdx[nj.Start:nj.End])
+				m.near.Put(c.i, c.j, b)
+				return
+			}
+			b := m.newBlock(m.Kern, m.skelPts[c.i], m.skel[c.i], m.skelPts[c.j], m.colSkeleton(c.j))
+			m.coup.Put(c.i, c.j, b)
+		})
 	})
 	m.coup.Freeze()
 	m.near.Freeze()

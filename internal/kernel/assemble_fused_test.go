@@ -1,0 +1,57 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"h2ds/internal/pointset"
+)
+
+// TestAssembleFusedBitwise pins the chunked fill-a-tile path (Assemble's
+// radial dispatch) against the per-entry seed path, digit for digit, for
+// every kernel, the 2-D, 3-D, and generic distance loops, and shapes
+// straddling the 64-entry chunk boundary.
+func TestAssembleFusedBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, d := range []int{2, 3, 5} {
+		x := pointset.Cube(150, d, int64(d))
+		y := pointset.Cube(130, d, int64(d+79))
+		for _, k := range fusedKernels() {
+			for _, sh := range fusedShapes {
+				rows := randIdx(rng, x.Len(), sh.rows)
+				cols := randIdx(rng, y.Len(), sh.cols)
+				got := NewBlock(k, x, rows, y, cols)
+				want := NewBlockSeed(k, x, rows, y, cols)
+				bitsEqual(t, k.Name(), got.Data, want.Data)
+			}
+		}
+	}
+	// Consecutive column runs (nearfield tiles index whole leaf ranges) take
+	// the gather-free sequential distance pass; cover it across chunk
+	// boundaries and at offsets.
+	for _, d := range []int{2, 3, 5} {
+		x := pointset.Cube(150, d, int64(d))
+		y := pointset.Cube(130, d, int64(d+79))
+		for _, k := range fusedKernels() {
+			for _, run := range []struct{ lo, n int }{{0, 130}, {7, 100}, {63, 66}, {5, 64}} {
+				rows := randIdx(rng, x.Len(), 9)
+				cols := make([]int, run.n)
+				for t := range cols {
+					cols[t] = run.lo + t
+				}
+				got := NewBlock(k, x, rows, y, cols)
+				want := NewBlockSeed(k, x, rows, y, cols)
+				bitsEqual(t, "seq-"+k.Name(), got.Data, want.Data)
+			}
+		}
+	}
+	// Coincident points: the r == 0 guards of the singular kernels must
+	// agree between the two paths.
+	x := pointset.Cube(40, 3, 5)
+	rows := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, k := range everyKernel() {
+		got := NewBlock(k, x, rows, x, rows)
+		want := NewBlockSeed(k, x, rows, x, rows)
+		bitsEqual(t, "self-"+k.Name(), got.Data, want.Data)
+	}
+}

@@ -307,6 +307,25 @@ func Assemble(dst *mat.Dense, pk Pairwise, x *pointset.Points, rows []int, y *po
 		assemblePair(dst, pk, x, rows, y, cols)
 		return dst
 	}
+	assembleFused(dst, k, x, rows, y, cols)
+	return dst
+}
+
+// AssembleSeed is Assemble forced onto the per-entry evaluation paths
+// (dimension-specialized EvalDist loops for radial kernels, EvalPair
+// otherwise) — the pre-fusion construction path, kept callable for the
+// fused-vs-seed equivalence suite and the build bench's seed baseline.
+func AssembleSeed(dst *mat.Dense, pk Pairwise, x *pointset.Points, rows []int, y *pointset.Points, cols []int) *mat.Dense {
+	m, n := len(rows), len(cols)
+	dst.Reshape(m, n)
+	if ba, ok := pk.(BlockAssembler); ok && ba.AssembleBlock(dst, x, rows, y, cols) {
+		return dst
+	}
+	k, radial := pk.(Kernel)
+	if !radial {
+		assemblePair(dst, pk, x, rows, y, cols)
+		return dst
+	}
 	switch x.Dim {
 	case 2:
 		assemble2(dst, k, x, rows, y, cols)
@@ -321,6 +340,49 @@ func Assemble(dst *mat.Dense, pk Pairwise, x *pointset.Points, rows []int, y *po
 // NewBlock allocates and assembles the kernel block K(X[rows], Y[cols]).
 func NewBlock(k Pairwise, x *pointset.Points, rows []int, y *pointset.Points, cols []int) *mat.Dense {
 	return Assemble(mat.NewDense(0, 0), k, x, rows, y, cols)
+}
+
+// NewBlockSeed is NewBlock on the per-entry AssembleSeed path.
+func NewBlockSeed(k Pairwise, x *pointset.Points, rows []int, y *pointset.Points, cols []int) *mat.Dense {
+	return AssembleSeed(mat.NewDense(0, 0), k, x, rows, y, cols)
+}
+
+// assembleFused fills the tile through the fused chunk machinery: one
+// distance pass (distChunk, mirroring the per-dimension accumulation of the
+// assemble2/assemble3/assembleGeneric loops) and one devirtualized
+// evaluation pass (evalChunk) per 64-entry panel of each row, writing
+// straight into the destination row. Per the bitwise contracts on those two
+// primitives, every entry is bit-identical to the per-entry seed path — only
+// the interface-call count and the cache behavior change.
+func assembleFused(dst *mat.Dense, k Kernel, x *pointset.Points, rows []int, y *pointset.Points, cols []int) {
+	d := x.Dim
+	n := len(cols)
+	// Nearfield tiles index whole leaf ranges, so cols is usually a
+	// consecutive run; the sequential distance pass drops the per-entry
+	// column gather and streams the coordinates in order (distChunkSeq is
+	// bitwise-identical to distChunk on the same points).
+	seq := n > 0
+	for t, j := range cols {
+		if j != cols[0]+t {
+			seq = false
+			break
+		}
+	}
+	var r2 [fusedChunk]float64
+	for a, i := range rows {
+		xi := x.Coords[i*d : i*d+d]
+		out := dst.Row(a)
+		for b0 := 0; b0 < n; b0 += fusedChunk {
+			b1 := min(b0+fusedChunk, n)
+			ck := b1 - b0
+			if seq {
+				distChunkSeq(r2[:ck], xi, y, cols[0]+b0, d)
+			} else {
+				distChunk(r2[:ck], xi, y, cols[b0:b1], d)
+			}
+			evalChunk(k, out[b0:b1], r2[:ck])
+		}
+	}
 }
 
 // assemblePair is the generic path for non-radial kernels.

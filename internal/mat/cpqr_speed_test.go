@@ -1,0 +1,24 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkCPQRBlocked600(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a := randDense(rng, 600, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		newCPQRBlocked(a, 1e-8, 0, nil)
+	}
+}
+
+func BenchmarkCPQRUnblocked600(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a := randDense(rng, 600, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewCPQRUnblocked(a, 1e-8, 0)
+	}
+}

@@ -1,5 +1,7 @@
 package mat
 
+import "h2ds/internal/par"
+
 // RowID is a row interpolative decomposition
 //
 //	A ≈ T · A[Skel, :]
@@ -22,11 +24,31 @@ type RowID struct {
 // at relative tolerance tol (on the pivot column norms) and capped at
 // maxRank rows (maxRank <= 0 means uncapped).
 func NewRowID(a *Dense, tol float64, maxRank int) *RowID {
-	m := a.Rows
-	if m == 0 {
+	return NewRowIDPool(a, tol, maxRank, nil)
+}
+
+// NewRowIDPool is NewRowID with an optional worker pool forwarded to the
+// blocked CPQR's trailing updates (see NewCPQRPool for the determinism and
+// single-client contracts).
+func NewRowIDPool(a *Dense, tol float64, maxRank int, pool *par.Pool) *RowID {
+	if a.Rows == 0 {
 		return &RowID{Skel: nil, T: NewDense(0, 0), Rank: 0}
 	}
-	c := NewCPQR(a.T(), tol, maxRank)
+	// a.T() is a fresh transposed copy, so the CPQR can consume it in place.
+	return rowIDFromCPQR(newCPQRInPlace(a.T(), tol, maxRank, pool), a.Rows)
+}
+
+// NewRowIDUnblocked is NewRowID on the reference unblocked CPQR — the
+// pre-blocking construction path, kept for equivalence suites and the build
+// bench's seed baseline.
+func NewRowIDUnblocked(a *Dense, tol float64, maxRank int) *RowID {
+	if a.Rows == 0 {
+		return &RowID{Skel: nil, T: NewDense(0, 0), Rank: 0}
+	}
+	return rowIDFromCPQR(newCPQRUnblocked(a.T(), tol, maxRank), a.Rows)
+}
+
+func rowIDFromCPQR(c *CPQR, m int) *RowID {
 	r := c.Rank
 	skel := make([]int, r)
 	copy(skel, c.Perm[:r])

@@ -1,0 +1,216 @@
+package registry
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"h2ds/internal/core"
+	"h2ds/internal/kernel"
+	"h2ds/internal/pointset"
+	"h2ds/internal/sample"
+)
+
+// phasesOf fetches the build-phase breakdown of a Ready instance.
+func phasesOf(t *testing.T, r *Registry, name string) *core.BuildPhases {
+	t.Helper()
+	inf, ok := r.Get(name)
+	if !ok {
+		t.Fatalf("%s: no info", name)
+	}
+	if inf.Phases == nil {
+		t.Fatalf("%s: no phase breakdown in info", name)
+	}
+	return inf.Phases
+}
+
+// TestConstructionCacheSharedGeometry: two tenants over the identical point
+// set (same dist/n/dim/seed and tree/sampling parameters) must share one
+// tree+hierarchy — the second build skips Algorithm 1 entirely, observable
+// as sample_ns == 0 with cache_hit set.
+func TestConstructionCacheSharedGeometry(t *testing.T) {
+	r := New(Config{Workers: 1})
+	defer r.Close()
+
+	if err := r.Create("tenant-a", tinySpec(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WaitReady(waitCtx(t), "tenant-a"); err != nil {
+		t.Fatal(err)
+	}
+	pa := phasesOf(t, r, "tenant-a")
+	if pa.CacheHit {
+		t.Fatalf("first tenant reported a cache hit")
+	}
+	if pa.SampleNS == 0 {
+		t.Fatalf("first tenant sampled nothing (sample_ns == 0)")
+	}
+
+	// Same geometry, different kernel: sampling is kernel-independent, so
+	// the cache must hit.
+	spec := tinySpec(3)
+	spec.Kernel = "gaussian"
+	if err := r.Create("tenant-b", spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WaitReady(waitCtx(t), "tenant-b"); err != nil {
+		t.Fatal(err)
+	}
+	pb := phasesOf(t, r, "tenant-b")
+	if !pb.CacheHit {
+		t.Fatalf("second tenant with identical geometry missed the cache")
+	}
+	if pb.SampleNS != 0 {
+		t.Fatalf("cache hit but sample_ns = %d, want 0", pb.SampleNS)
+	}
+	if hits, _, entries := r.BuildCache().Stats(); hits != 1 || entries != 1 {
+		t.Fatalf("cache stats: hits %d entries %d, want 1/1", hits, entries)
+	}
+
+	// Different seed = different point cloud: must miss.
+	if err := r.Create("tenant-c", tinySpec(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WaitReady(waitCtx(t), "tenant-c"); err != nil {
+		t.Fatal(err)
+	}
+	if pc := phasesOf(t, r, "tenant-c"); pc.CacheHit {
+		t.Fatalf("different geometry hit the cache")
+	}
+
+	// The cached-build tenant must still serve correct answers: compare
+	// against a direct core.Build of the same spec.
+	m, ok := r.Matrix("tenant-b")
+	if !ok {
+		t.Fatal("tenant-b has no matrix")
+	}
+	pts, _ := pointset.Named("cube", 500, 3, 3)
+	k, _ := kernel.ByName("gaussian")
+	ref, err := core.Build(pts, k, core.Config{
+		Kind: core.DataDriven, Mode: core.OnTheFly,
+		Tol: 1e-4, LeafSize: 50, Sampler: sample.AnchorNet{}, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randVec(m.N, 11)
+	got := make([]float64, m.N)
+	want := make([]float64, m.N)
+	m.ApplyTo(got, b)
+	ref.ApplyTo(want, b)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+			t.Fatalf("cached build diverges from direct build at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestConstructionCacheHotSwap: redeclaring a Ready tenant with the same
+// geometry (e.g. a tolerance change) must reuse its hierarchy on the
+// rebuild.
+func TestConstructionCacheHotSwap(t *testing.T) {
+	r := New(Config{Workers: 1})
+	defer r.Close()
+
+	if err := r.Create("hot", tinySpec(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WaitReady(waitCtx(t), "hot"); err != nil {
+		t.Fatal(err)
+	}
+	if p := phasesOf(t, r, "hot"); p.CacheHit {
+		t.Fatalf("first build reported a cache hit")
+	}
+
+	// Hot-swap rebuild: same geometry and sampling parameters, different
+	// memory mode. The fingerprint is unchanged, so the rebuild reuses the
+	// hierarchy. WaitReady returns immediately (the old version keeps
+	// serving), so poll until the swapped-in version appears.
+	spec := tinySpec(5)
+	spec.Mem = "normal"
+	if err := r.Create("hot", spec); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if inf, ok := r.Get("hot"); ok && !inf.Rebuilding && inf.Mode == "normal" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("hot swap did not complete")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	p := phasesOf(t, r, "hot")
+	if !p.CacheHit {
+		t.Fatalf("hot-swap rebuild with unchanged geometry missed the cache")
+	}
+	if p.SampleNS != 0 {
+		t.Fatalf("hot-swap cache hit but sample_ns = %d, want 0", p.SampleNS)
+	}
+}
+
+// TestConstructionCacheDisabled: CacheEntries < 0 turns the cache off.
+func TestConstructionCacheDisabled(t *testing.T) {
+	r := New(Config{Workers: 1, CacheEntries: -1})
+	defer r.Close()
+	if r.BuildCache() != nil {
+		t.Fatal("negative CacheEntries should disable the cache")
+	}
+	if err := r.Create("a", tinySpec(6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WaitReady(waitCtx(t), "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Create("b", tinySpec(6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WaitReady(waitCtx(t), "b"); err != nil {
+		t.Fatal(err)
+	}
+	if p := phasesOf(t, r, "b"); p.CacheHit {
+		t.Fatalf("cache disabled but build reported a hit")
+	}
+}
+
+// TestConstructionCacheRelTolDistinct: a reltol change alters the derived
+// sample budget, so the fingerprint must differ and the rebuild must
+// re-sample (stale hierarchies must not leak across tolerance changes).
+func TestConstructionCacheRelTolDistinct(t *testing.T) {
+	r := New(Config{Workers: 1})
+	defer r.Close()
+
+	spec := tinySpec(7)
+	spec.Tol = 0
+	spec.RelTol = 1e-2
+	if err := r.Create("rt", spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WaitReady(waitCtx(t), "rt"); err != nil {
+		t.Fatal(err)
+	}
+
+	spec.RelTol = 1e-4
+	if err := r.Create("rt", spec); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if inf, ok := r.Get("rt"); ok && !inf.Rebuilding && inf.RelTol == 1e-4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("hot swap did not complete")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	p := phasesOf(t, r, "rt")
+	if p.CacheHit {
+		t.Fatalf("tighter reltol (larger sample budget) wrongly hit the cache")
+	}
+	inf, _ := r.Get("rt")
+	if inf.EstRelErr == 0 || inf.EstRelErr > 10*1e-4 {
+		t.Fatalf("reltol rebuild certificate %g out of range", inf.EstRelErr)
+	}
+}

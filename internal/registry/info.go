@@ -43,6 +43,12 @@ type Stats struct {
 	// attention (permissions, immutable files).
 	SpillCleanupErrors int64 `json:"spill_cleanup_errors"`
 
+	// Construction-cache counters (default builder only): cumulative
+	// geometry-fingerprint hits/misses and currently retained geometries.
+	BuildCacheHits    int64 `json:"build_cache_hits"`
+	BuildCacheMisses  int64 `json:"build_cache_misses"`
+	BuildCacheEntries int   `json:"build_cache_entries"`
+
 	QueueDepth int   `json:"queue_depth"` // builds accepted but not yet started
 	Instances  int   `json:"instances"`
 	Ready      int   `json:"ready"`
@@ -73,6 +79,9 @@ func (r *Registry) Stats() Stats {
 		QueueDepth:         len(r.queue),
 		MemBudget:          r.cfg.MemBudget,
 		States:             make(map[string]int),
+	}
+	if r.bcache != nil {
+		s.BuildCacheHits, s.BuildCacheMisses, s.BuildCacheEntries = r.bcache.Stats()
 	}
 	r.mu.Lock()
 	insts := make([]*instance, 0, len(r.items))
@@ -125,6 +134,11 @@ type Info struct {
 	MaxRank    int              `json:"max_rank,omitempty"`
 	LevelRanks []core.LevelRank `json:"level_ranks,omitempty"`
 
+	// Phases is the construction-phase time breakdown of the live build
+	// (absent for loaded/rehydrated matrices, which report zero phases). A
+	// construction-cache hit shows cache_hit true with sample_ns == 0.
+	Phases *core.BuildPhases `json:"phases,omitempty"`
+
 	Spilled bool `json:"spilled,omitempty"` // evicted with a spill file: next Apply rehydrates
 
 	CreatedAt time.Time `json:"created_at"`
@@ -170,6 +184,10 @@ func (in *instance) info() Info {
 		inf.EstRelErr = bs.EstRelErr
 		if bs.RelTol > 0 {
 			inf.LevelRanks = bs.LevelRanks
+		}
+		if bs.Phases.TotalNS > 0 {
+			ph := bs.Phases
+			inf.Phases = &ph
 		}
 		st := in.cur.b.Stats()
 		inf.Serve = &st

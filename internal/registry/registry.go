@@ -142,10 +142,19 @@ type Config struct {
 	// Batch configures each instance's serve.Batcher.
 	Batch serve.Config
 
-	// Builder overrides how specs become matrices (default DefaultBuild).
-	// Embedders use it for custom matrix sources; tests for fault
-	// injection.
+	// Builder overrides how specs become matrices (default: BuildWithCache
+	// through the registry's shared construction cache). Embedders use it
+	// for custom matrix sources; tests for fault injection. Setting it
+	// bypasses the construction cache.
 	Builder Builder
+
+	// CacheEntries sizes the construction cache the default builder shares
+	// across this registry's builds: tenants (and hot-swap rebuilds) whose
+	// geometry and tree/sampling parameters fingerprint identically reuse
+	// the spatial tree and Algorithm 1 hierarchy (core.BuildCache). 0 means
+	// core.DefaultBuildCacheEntries; negative disables caching. Ignored
+	// when Builder is set.
+	CacheEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -154,9 +163,6 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 8
-	}
-	if c.Builder == nil {
-		c.Builder = DefaultBuild
 	}
 	return c
 }
@@ -237,8 +243,17 @@ type Registry struct {
 	closeOnce sync.Once
 	closedCh  chan struct{}
 
+	// bcache is the construction cache behind the default builder (nil when
+	// a custom Builder is installed or CacheEntries < 0).
+	bcache *core.BuildCache
+
 	st counters
 }
+
+// BuildCache exposes the registry's shared construction cache (nil when
+// disabled or when a custom Builder is installed). Tests and the stats
+// endpoint read its hit/miss counters.
+func (r *Registry) BuildCache() *core.BuildCache { return r.bcache }
 
 // New starts a registry with the given configuration. Call Close to drain
 // every instance and release the build workers.
@@ -252,6 +267,14 @@ func New(cfg Config) *Registry {
 		rootCtx:  ctx,
 		cancel:   cancel,
 		closedCh: make(chan struct{}),
+	}
+	if r.cfg.Builder == nil {
+		if cfg.CacheEntries >= 0 {
+			r.bcache = core.NewBuildCache(cfg.CacheEntries)
+		}
+		r.cfg.Builder = func(ctx context.Context, sp BuildSpec, setStage func(string)) (*core.Matrix, error) {
+			return BuildWithCache(ctx, sp, setStage, r.bcache)
+		}
 	}
 	r.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {

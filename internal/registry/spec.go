@@ -212,6 +212,17 @@ type Builder func(ctx context.Context, sp BuildSpec, setStage func(string)) (*co
 // for the "dense" source — loads the matrix file into an entry oracle and
 // runs the geometry-oblivious core.BuildOracle.
 func DefaultBuild(ctx context.Context, sp BuildSpec, setStage func(string)) (*core.Matrix, error) {
+	return BuildWithCache(ctx, sp, setStage, nil)
+}
+
+// BuildWithCache is DefaultBuild threading an optional construction cache
+// into core.Build: tenants whose geometry and tree/sampling parameters
+// fingerprint identically (and hot-swap rebuilds of one tenant) reuse the
+// spatial tree and Algorithm 1 hierarchy instead of re-running them —
+// observable as Phases.CacheHit with sample_ns == 0 in the instance info. A
+// registry without an explicit Builder routes every build through its own
+// shared cache.
+func BuildWithCache(ctx context.Context, sp BuildSpec, setStage func(string), cache *core.BuildCache) (*core.Matrix, error) {
 	if sp.Path != "" {
 		setStage("load")
 		return loadMatrix(sp.Path)
@@ -236,7 +247,7 @@ func DefaultBuild(ctx context.Context, sp BuildSpec, setStage func(string)) (*co
 		return core.BuildOracle(src, core.Config{
 			Kind: core.DataDriven, Mode: core.Normal,
 			Tol: sp.Tol, RelTol: sp.RelTol, LeafSize: sp.Leaf,
-			Workers: sp.Workers, Sampler: s,
+			Workers: sp.Workers, Sampler: s, Cache: cache,
 		})
 	}
 	k, err := kernel.ByName(sp.Kernel)
@@ -257,6 +268,7 @@ func DefaultBuild(ctx context.Context, sp BuildSpec, setStage func(string)) (*co
 	}
 	cfg := core.Config{
 		Tol: sp.Tol, RelTol: sp.RelTol, LeafSize: sp.Leaf, Workers: sp.Workers, Sampler: s,
+		Cache: cache,
 	}
 	switch sp.Basis {
 	case "dd":
