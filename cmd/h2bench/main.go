@@ -43,6 +43,7 @@ func main() {
 	window := flag.Duration("window", 500*time.Microsecond, "batcher flush window (serve experiment)")
 	jsonOut := flag.String("json", "", "output path for machine-readable reports (matvec experiment; \"\" = BENCH_matvec.json)")
 	reltol := flag.Float64("reltol", 0, "error-controlled build tolerance for single-build experiments (0 = fixed-parameter builds)")
+	minScale := flag.Float64("minscale", 2.0, "required w4/w1 speedup for the matvec scaling assert (negative disables; auto-skipped on hosts with < 4 CPUs)")
 	flag.Parse()
 
 	if _, err := kernel.ByName(*kern); err != nil {
@@ -67,6 +68,7 @@ func main() {
 		Window:     *window,
 		JSONOut:    *jsonOut,
 		RelTol:     *reltol,
+		MinScale:   *minScale,
 		Out:        os.Stdout,
 	}
 	if err := bench.Run(*exp, opt); err != nil {

@@ -50,6 +50,7 @@ func run() error {
 	healthTTL := flag.Duration("healthttl", 2*time.Second, "readiness probe cache lifetime")
 	maxBodyMB := flag.Int64("maxbody", 0, "JSON request body cap in MiB, answered with 413 over the cap (0 = 64)")
 	maxUploadMB := flag.Int64("maxupload", 0, "dense-upload body cap in MiB for POST /matrices/{name}/data (0 = 8192)")
+	workers := flag.Int("workers", 0, "default apply worker count injected into create specs that leave workers unset (0 = each node uses its GOMAXPROCS)")
 	flag.Parse()
 
 	var mlist []string
@@ -70,6 +71,7 @@ func run() error {
 		HealthTTL: *healthTTL,
 		MaxBody:   *maxBodyMB << 20,
 		MaxUpload: *maxUploadMB << 20,
+		Workers:   *workers,
 	})
 	srv := &http.Server{Addr: *addr, Handler: rt.Handler()}
 	errCh := make(chan error, 1)

@@ -156,8 +156,9 @@ func TestE2ESmoke(t *testing.T) {
 		}
 		var st struct {
 			Matrix struct {
-				N      int    `json:"n"`
-				Kernel string `json:"kernel"`
+				N       int    `json:"n"`
+				Kernel  string `json:"kernel"`
+				Workers int    `json:"workers"`
 			} `json:"matrix"`
 			Serve    serve.Stats    `json:"serve"`
 			Registry registry.Stats `json:"registry"`
@@ -167,6 +168,9 @@ func TestE2ESmoke(t *testing.T) {
 		}
 		if st.Matrix.N != n || st.Matrix.Kernel != "coulomb" {
 			t.Fatalf("stats matrix: %+v", st.Matrix)
+		}
+		if st.Matrix.Workers <= 0 {
+			t.Fatalf("stats workers not reported: %+v", st.Matrix)
 		}
 		if st.Serve.Served != 2 {
 			t.Fatalf("stats served = %d, want 2", st.Serve.Served)

@@ -102,8 +102,10 @@ func run() error {
 	}
 	if *load != "" {
 		// The stream records its kernel; -kernel is only an override check,
-		// applied below once the matrix is loaded.
-		spec = registry.BuildSpec{Path: *load}
+		// applied below once the matrix is loaded. The worker count is a
+		// host preference the stream never carries, so -threads still
+		// applies to the loaded instance.
+		spec = registry.BuildSpec{Path: *load, Workers: *threads}
 	}
 
 	reg := registry.New(registry.Config{

@@ -18,6 +18,7 @@ import (
 
 	"h2ds/internal/core"
 	"h2ds/internal/oracle"
+	"h2ds/internal/par"
 	"h2ds/internal/registry"
 	"h2ds/internal/serve"
 )
@@ -418,6 +419,11 @@ func StatsHandler(reg *registry.Registry) http.HandlerFunc {
 		Mode   string `json:"mode"`
 		Basis  string `json:"basis"`
 
+		// Workers is the resolved apply parallelism of the live matrix (the
+		// configured count with 0 resolved to GOMAXPROCS), so scaling runs
+		// can be attributed to a worker count from the wire.
+		Workers int `json:"workers"`
+
 		// Error-controlled build reporting (reltol builds only).
 		RelTol     float64          `json:"reltol,omitempty"`
 		EstRelErr  float64          `json:"est_relerr,omitempty"`
@@ -446,6 +452,7 @@ func StatsHandler(reg *registry.Registry) http.HandlerFunc {
 			}
 			out.Serve = inf.Serve
 			if m, ok := reg.Matrix(DefaultInstance); ok {
+				out.Matrix.Workers = par.Resolve(m.Cfg.Workers)
 				sw := m.SweepStats()
 				out.Sweeps = &sw
 			}

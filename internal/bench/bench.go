@@ -57,6 +57,11 @@ type Options struct {
 	// experiment sweeps only this tolerance instead of its default axis, and
 	// the matvec experiment builds its matrices in error-controlled mode.
 	RelTol float64
+	// MinScale is the w4-over-w1 speedup the matvec scaling sweep must reach
+	// on its normal-mode apply (0 = 2.0; negative disables the assert). The
+	// wall-clock check only runs on hosts with at least four CPUs; the
+	// bitwise cross-worker equality check always runs.
+	MinScale float64
 	// Out receives the report (nil = io.Discard).
 	Out io.Writer
 }
@@ -102,6 +107,16 @@ func (o Options) window() time.Duration {
 		return 500 * time.Microsecond
 	}
 	return o.Window
+}
+
+func (o Options) minScale() float64 {
+	if o.MinScale == 0 {
+		return 2.0
+	}
+	if o.MinScale < 0 {
+		return 0
+	}
+	return o.MinScale
 }
 
 func (o Options) sampler() sample.Sampler {

@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"testing"
 	"time"
 
 	"h2ds/internal/core"
+	"h2ds/internal/kernel"
+	"h2ds/internal/mat"
 	"h2ds/internal/par"
 	"h2ds/internal/pointset"
 )
@@ -21,11 +24,35 @@ type MatvecRun struct {
 	Leaf            int     `json:"leaf"`
 	Depth           int     `json:"depth"`
 	Mode            string  `json:"mode"`
+	Workers         int     `json:"workers"`
 	MedianApplyNS   int64   `json:"median_apply_ns"`
 	AllocsPerOp     float64 `json:"allocs_per_op"`
 	BlockStoreBytes int64   `json:"block_store_bytes"`
 	MemKiB          float64 `json:"mem_kib"`
 	RelErr          float64 `json:"relerr"`
+}
+
+// ScalingRun is one point of the multi-worker scaling sweep: the largest
+// case of the scale, re-applied at each worker count through the barrier-free
+// scheduler, with the speedup normalized to the single-worker median.
+type ScalingRun struct {
+	N             int     `json:"n"`
+	Leaf          int     `json:"leaf"`
+	Mode          string  `json:"mode"`
+	Workers       int     `json:"workers"`
+	MedianApplyNS int64   `json:"median_apply_ns"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// TileRun is one per-kernel fused-tile micro-benchmark row: BlockVecAdd on a
+// square tile with the AVX dispatch on versus forced off. Speedup is
+// scalar/simd, > 1 meaning the vector path wins.
+type TileRun struct {
+	Kernel   string  `json:"kernel"`
+	Tile     int     `json:"tile"`
+	ScalarNS int64   `json:"scalar_ns"`
+	SIMDNS   int64   `json:"simd_ns"`
+	Speedup  float64 `json:"speedup"`
 }
 
 // MatvecReport is the top-level BENCH_matvec.json document. It exists so the
@@ -37,6 +64,13 @@ type MatvecReport struct {
 	Kernel     string      `json:"kernel"`
 	Workers    int         `json:"workers"`
 	Runs       []MatvecRun `json:"runs"`
+
+	// Scaling is the multi-worker strong-scaling sweep over the scheduler
+	// (workers 1/2/4/8 on the largest case, per memory mode), and Tiles the
+	// per-kernel SIMD-vs-scalar fused-tile micro-bench. Both are owned by the
+	// matvec experiment and rewritten on every run.
+	Scaling []ScalingRun `json:"scaling,omitempty"`
+	Tiles   []TileRun    `json:"tiles,omitempty"`
 
 	// RelTolSweep is the error-controlled build sweep (the reltol
 	// experiment): requested tolerance vs achieved rank, memory, and
@@ -121,7 +155,7 @@ func MatvecJSON(opt Options) error {
 			allocs := testing.AllocsPerRun(5, func() { m.ApplyToWith(ws, y, b) })
 			mem := m.Memory()
 			run := MatvecRun{
-				N: n, Leaf: leaf, Depth: m.Tree.Depth(), Mode: label,
+				N: n, Leaf: leaf, Depth: m.Tree.Depth(), Mode: label, Workers: workers,
 				MedianApplyNS: median, AllocsPerOp: allocs,
 				BlockStoreBytes: mem.Coupling + mem.Nearfield,
 				MemKiB:          mem.KiB(),
@@ -161,6 +195,11 @@ func MatvecJSON(opt Options) error {
 	}
 	tb.flush()
 
+	if err := matvecScaling(opt, k, &rep); err != nil {
+		return err
+	}
+	matvecTiles(opt, &rep)
+
 	path := opt.JSONOut
 	if path == "" {
 		path = "BENCH_matvec.json"
@@ -185,4 +224,168 @@ func MatvecJSON(opt Options) error {
 	}
 	fmt.Fprintf(out, "\nwrote %s\n", path)
 	return nil
+}
+
+// matvecScaling measures the strong-scaling profile of the barrier-free
+// scheduler: the scale's largest (n, leaf) case applied at workers 1/2/4/8 in
+// each memory mode. Every worker count must reproduce the single-worker
+// result bitwise (the scheduler's core contract — checked unconditionally);
+// on hosts with at least four CPUs the sweep additionally self-asserts that
+// four workers beat one by Options.MinScale on the normal-mode apply.
+func matvecScaling(opt Options, k kernel.Kernel, rep *MatvecReport) error {
+	out := opt.out()
+	cases := matvecCases(opt.Scale)
+	n, leaf := cases[len(cases)-1][0], cases[len(cases)-1][1]
+	pts := pointset.Cube(n, 3, opt.seed())
+	b := randVec(n, opt.seed()+7)
+
+	cfg := core.Config{Kind: core.DataDriven, Mode: core.Normal, Tol: 1e-6, RelTol: opt.RelTol,
+		LeafSize: leaf, Workers: 1, Sampler: opt.sampler()}
+	norm, err := core.Build(pts, k, cfg)
+	if err != nil {
+		return err
+	}
+	full := norm.Memory().Coupling + norm.Memory().Nearfield
+	cfg.Mode = core.OnTheFly
+	otf, err := core.Build(pts, k, cfg)
+	if err != nil {
+		return err
+	}
+	mats := []struct {
+		m     *core.Matrix
+		label string
+	}{
+		{norm, core.Normal.String()},
+		{norm.WithStorageBudget(full / 2), "hybrid-50"},
+		{otf, core.OnTheFly.String()},
+	}
+
+	fmt.Fprintf(out, "\n# matvec scaling: workers sweep on n=%d leaf=%d (scheduler path)\n", n, leaf)
+	tb := newTable(out, "strong scaling, median apply", "mode", "workers", "apply_us", "speedup")
+	var normW1, normW4 int64
+	for _, mc := range mats {
+		var ref []float64
+		var w1 int64
+		for _, w := range []int{1, 2, 4, 8} {
+			mc.m.Cfg.Workers = w
+			ws := mc.m.NewWorkspace()
+			y := make([]float64, n)
+			mc.m.ApplyToWith(ws, y, b) // warm-up: grows scratch, spins up the pool
+
+			samples := opt.reps()
+			if samples < 5 {
+				samples = 5
+			}
+			times := make([]int64, samples)
+			for i := range times {
+				t0 := time.Now()
+				mc.m.ApplyToWith(ws, y, b)
+				times[i] = time.Since(t0).Nanoseconds()
+			}
+			ws.Close()
+			sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+			median := times[len(times)/2]
+
+			if w == 1 {
+				w1 = median
+				ref = append([]float64(nil), y...)
+			} else {
+				for i := range y {
+					if y[i] != ref[i] {
+						return fmt.Errorf("matvec scaling: %s w=%d result differs bitwise from w=1 at index %d", mc.label, w, i)
+					}
+				}
+			}
+			sp := float64(w1) / float64(median)
+			rep.Scaling = append(rep.Scaling, ScalingRun{
+				N: n, Leaf: leaf, Mode: mc.label, Workers: w, MedianApplyNS: median, Speedup: sp})
+			tb.row(mc.label, fmt.Sprintf("%d", w),
+				fmt.Sprintf("%.1f", float64(median)/1000), fmt.Sprintf("%.2f", sp))
+			if mc.label == core.Normal.String() {
+				switch w {
+				case 1:
+					normW1 = median
+				case 4:
+					normW4 = median
+				}
+			}
+		}
+	}
+	tb.flush()
+
+	minScale := opt.minScale()
+	if minScale <= 0 {
+		return nil
+	}
+	if runtime.NumCPU() < 4 {
+		fmt.Fprintf(out, "\nscaling assert skipped: host has %d CPUs, need >= 4 for the w4/w1 wall-clock check (bitwise equality across worker counts was still enforced)\n", runtime.NumCPU())
+		return nil
+	}
+	got := float64(normW1) / float64(normW4)
+	if got < minScale {
+		return fmt.Errorf("matvec scaling: normal-mode w4 speedup %.2fx below required %.2fx (w1=%v w4=%v)",
+			got, minScale, time.Duration(normW1), time.Duration(normW4))
+	}
+	fmt.Fprintf(out, "\nscaling assert: normal-mode w4 speedup %.2fx >= required %.2fx\n", got, minScale)
+	return nil
+}
+
+// matvecTiles micro-benchmarks the fused BlockVecAdd tile per registered
+// kernel with the AVX dispatch forced off versus on. Skipped (with a note)
+// when the host has no AVX — the speedup column would be noise.
+func matvecTiles(opt Options, rep *MatvecReport) {
+	out := opt.out()
+	if !mat.SIMDAvailable() {
+		fmt.Fprintf(out, "\n# matvec tiles: skipped (no AVX on this host)\n")
+		return
+	}
+	const tile = 192
+	x := pointset.Cube(tile, 3, opt.seed()+101)
+	yp := pointset.Cube(tile, 3, opt.seed()+102)
+	rows := make([]int, tile)
+	cols := make([]int, tile)
+	for i := range rows {
+		rows[i], cols[i] = i, i
+	}
+	v := randVec(tile, opt.seed()+103)
+	acc := make([]float64, tile)
+
+	timeOne := func(k kernel.Kernel) int64 {
+		const inner = 8
+		samples := opt.reps()
+		if samples < 5 {
+			samples = 5
+		}
+		times := make([]int64, samples)
+		for s := range times {
+			t0 := time.Now()
+			for i := 0; i < inner; i++ {
+				kernel.BlockVecAdd(acc, k, x, rows, yp, cols, v)
+			}
+			times[s] = time.Since(t0).Nanoseconds() / inner
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		return times[len(times)/2]
+	}
+
+	tb := newTable(out, fmt.Sprintf("fused tile micro-bench (BlockVecAdd %dx%d, median per call)", tile, tile),
+		"kernel", "scalar_us", "simd_us", "speedup")
+	defer mat.SetSIMD(true)
+	for _, name := range kernel.Names() {
+		k, err := kernel.ByName(name)
+		if err != nil {
+			continue
+		}
+		kernel.BlockVecAdd(acc, k, x, rows, yp, cols, v) // warm-up
+		mat.SetSIMD(false)
+		scalar := timeOne(k)
+		mat.SetSIMD(true)
+		simd := timeOne(k)
+		sp := float64(scalar) / float64(simd)
+		rep.Tiles = append(rep.Tiles, TileRun{
+			Kernel: name, Tile: tile, ScalarNS: scalar, SIMDNS: simd, Speedup: sp})
+		tb.row(name, fmt.Sprintf("%.2f", float64(scalar)/1000),
+			fmt.Sprintf("%.2f", float64(simd)/1000), fmt.Sprintf("%.2f", sp))
+	}
+	tb.flush()
 }

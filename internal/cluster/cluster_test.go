@@ -418,3 +418,48 @@ func TestClusterMembership(t *testing.T) {
 		}
 	}
 }
+
+// TestCreateWorkersInjection checks the router's fleet-wide worker default:
+// with RouterConfig.Workers set, a create spec that leaves workers unset is
+// forwarded with the router's count, while an explicit count in the spec
+// wins over the injected default.
+func TestCreateWorkersInjection(t *testing.T) {
+	node := startNode(t)
+	rt := NewRouter(RouterConfig{
+		Members: []string{node.srv.URL}, Replicas: 1,
+		Timeout: 30 * time.Second, HealthTTL: 150 * time.Millisecond,
+		Workers: 3,
+	})
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+
+	resp, body := postJSON(t, front.URL+"/matrices", api.CreateRequest{Name: "injected", Spec: testSpec(21)})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create: status %d: %s", resp.StatusCode, body)
+	}
+	explicit := testSpec(22)
+	explicit.Workers = 2
+	resp, body = postJSON(t, front.URL+"/matrices", api.CreateRequest{Name: "explicit", Spec: explicit})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create: status %d: %s", resp.StatusCode, body)
+	}
+
+	waitState := func(name string) registry.Info {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			if inf, ok := node.reg.Get(name); ok && inf.State == registry.StateReady {
+				return inf
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never became ready", name)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if inf := waitState("injected"); inf.Spec.Workers != 3 {
+		t.Fatalf("injected spec workers = %d, want router default 3", inf.Spec.Workers)
+	}
+	if inf := waitState("explicit"); inf.Spec.Workers != 2 {
+		t.Fatalf("explicit spec workers = %d, want 2 (must beat the router default)", inf.Spec.Workers)
+	}
+}

@@ -44,6 +44,12 @@ type RouterConfig struct {
 	// over the cap, before anything is proxied to a node.
 	MaxBody   int64
 	MaxUpload int64
+
+	// Workers, when positive, is injected as the default worker count into
+	// create specs that leave workers unset, so one router flag pins the
+	// apply parallelism fleet-wide. 0 leaves specs untouched — each node
+	// resolves an unset count to its own GOMAXPROCS.
+	Workers int
 }
 
 // Router is the client-facing front of a cluster: it owns the ring, proxies
@@ -213,6 +219,12 @@ func (rt *Router) createHandler(w http.ResponseWriter, r *http.Request) {
 	if err := json.Unmarshal(body, &req); err != nil {
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 		return
+	}
+	if rt.cfg.Workers > 0 && req.Spec.Workers == 0 {
+		req.Spec.Workers = rt.cfg.Workers
+		if nb, err := json.Marshal(req); err == nil {
+			body = nb
+		}
 	}
 	cands := rt.placement(req.Name)
 	if len(cands) == 0 {

@@ -77,6 +77,12 @@ type Matrix struct {
 	// exists only for the bitwise-equivalence tests.
 	seedOTF bool
 
+	// sched is the lazily built barrier-free apply task graph (see
+	// schedule.go); it depends only on the immutable tree topology, so one
+	// graph serves every workspace and apply variant.
+	schedOnce sync.Once
+	sched     *taskGraph
+
 	// Construction-phase attribution (ns), accumulated across pool workers
 	// during the basis sweep: farfield panel assembly, leaf-node IDs, and
 	// internal-node (transfer) IDs. Because workers run concurrently, the

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"h2ds/internal/kernel"
+	"h2ds/internal/mat"
+	"h2ds/internal/pointset"
+)
+
+// TestTaskGraphInvariants checks the structural properties the scheduler's
+// deadlock-freedom argument rests on: one task per (node, stage) slot, edge
+// endpoints in range, dependency counts consistent with the edge list, and a
+// non-empty initial frontier.
+func TestTaskGraphInvariants(t *testing.T) {
+	for _, tc := range []struct {
+		n, leaf int
+	}{
+		{40, 50},  // single leaf: the root is the only node
+		{130, 50}, // depth 1: root plus one level of leaves
+		{1500, 25},
+	} {
+		m, err := Build(pointset.Cube(tc.n, 3, 401), kernel.Coulomb{},
+			Config{Kind: DataDriven, Mode: Normal, Tol: 1e-5, LeafSize: tc.leaf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := m.schedGraph()
+		nN := len(m.Tree.Nodes)
+		if g.total != int32(3*nN) {
+			t.Fatalf("n=%d: total %d want %d", tc.n, g.total, 3*nN)
+		}
+		var deps int32
+		for id, c := range g.initCnt {
+			if c < 0 {
+				t.Fatalf("n=%d: negative init count at task %d", tc.n, id)
+			}
+			deps += c
+		}
+		if int(deps) != len(g.depList) {
+			t.Fatalf("n=%d: Σ initCnt %d != |depList| %d", tc.n, deps, len(g.depList))
+		}
+		for _, d := range g.depList {
+			if d < 0 || d >= g.total {
+				t.Fatalf("n=%d: dependent %d out of range", tc.n, d)
+			}
+		}
+		if len(g.ready0) == 0 {
+			t.Fatalf("n=%d: empty initial frontier", tc.n)
+		}
+		zero := 0
+		for _, c := range g.initCnt {
+			if c == 0 {
+				zero++
+			}
+		}
+		if zero != len(g.ready0) {
+			t.Fatalf("n=%d: %d zero-dependency tasks but frontier has %d", tc.n, zero, len(g.ready0))
+		}
+	}
+}
+
+// schedRefApply computes the level-synchronous reference results (apply,
+// transpose apply, batch apply) on a closed-pool workspace — the seed
+// fork-join path the scheduler must match bitwise.
+func schedRefApply(t *testing.T, m *Matrix, b []float64, B *mat.Dense) (y, yt []float64, Y *mat.Dense) {
+	t.Helper()
+	ws := m.NewWorkspace()
+	ws.Close() // fork-join level-synchronous fallback
+	y = make([]float64, m.N)
+	yt = make([]float64, m.N)
+	Y = mat.NewDense(0, 0)
+	m.ApplyToWith(ws, y, b)
+	m.ApplyTransposeToWith(ws, yt, b)
+	m.ApplyBatchToWith(ws, Y, B)
+	return y, yt, Y
+}
+
+// TestScheduledMatchesSeedEdgeShapes runs the barrier-free scheduler over
+// degenerate and adversarial tree shapes — a single-leaf tree (root only),
+// a depth-1 tree, and a tree whose leaf level is far wider than the worker
+// count — at worker counts 1/2/3/7, in Normal and OnTheFly modes, and
+// demands bitwise equality with the level-synchronous seed path for the
+// apply, transpose, and batched variants.
+func TestScheduledMatchesSeedEdgeShapes(t *testing.T) {
+	shapes := []struct {
+		name    string
+		n, leaf int
+	}{
+		{"single-leaf", 40, 50},
+		{"depth-1", 130, 50},
+		{"wide-level", 1500, 25},
+	}
+	for _, sh := range shapes {
+		for _, mode := range []MemoryMode{Normal, OnTheFly} {
+			t.Run(sh.name+"/"+mode.String(), func(t *testing.T) {
+				pts := pointset.Cube(sh.n, 3, 402)
+				m, err := Build(pts, kernel.Coulomb{},
+					Config{Kind: DataDriven, Mode: mode, Tol: 1e-5, LeafSize: sh.leaf})
+				if err != nil {
+					t.Fatal(err)
+				}
+				b := randVec(m.N, 403)
+				B := mat.NewDense(m.N, 3)
+				for i := 0; i < m.N; i++ {
+					for j := 0; j < 3; j++ {
+						B.Set(i, j, b[(i+j*11)%m.N])
+					}
+				}
+				yRef, ytRef, YRef := schedRefApply(t, m, b, B)
+
+				for _, w := range []int{1, 2, 3, 7} {
+					m.Cfg.Workers = w
+					ws := m.NewWorkspace()
+					if w > 1 && !ws.useSched() {
+						t.Fatalf("w=%d: scheduler not selected", w)
+					}
+					y := make([]float64, m.N)
+					yt := make([]float64, m.N)
+					Y := mat.NewDense(0, 0)
+					m.ApplyToWith(ws, y, b)
+					m.ApplyTransposeToWith(ws, yt, b)
+					m.ApplyBatchToWith(ws, Y, B)
+					ws.Close()
+					for i := range y {
+						if y[i] != yRef[i] {
+							t.Fatalf("w=%d apply differs at %d: %g vs %g", w, i, y[i], yRef[i])
+						}
+						if yt[i] != ytRef[i] {
+							t.Fatalf("w=%d transpose differs at %d: %g vs %g", w, i, yt[i], ytRef[i])
+						}
+					}
+					for i := range Y.Data {
+						if Y.Data[i] != YRef.Data[i] {
+							t.Fatalf("w=%d batch differs at flat %d: %g vs %g", w, i, Y.Data[i], YRef.Data[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestScheduledMatchesSeedUnsymmetric covers the directed-storage transpose
+// coupling (the one scheduler stage whose kernel differs most from the
+// forward sweep) under an unsymmetric kernel at several worker counts.
+func TestScheduledMatchesSeedUnsymmetric(t *testing.T) {
+	pts := pointset.Cube(1100, 3, 404)
+	m, err := Build(pts, drift3(),
+		Config{Kind: DataDriven, Mode: Normal, Tol: 1e-5, LeafSize: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randVec(m.N, 405)
+	B := mat.NewDense(m.N, 2)
+	copy(B.Data[:m.N], b)
+	yRef, ytRef, YRef := schedRefApply(t, m, b, B)
+
+	for _, w := range []int{2, 3, 7} {
+		m.Cfg.Workers = w
+		ws := m.NewWorkspace()
+		y := make([]float64, m.N)
+		yt := make([]float64, m.N)
+		Y := mat.NewDense(0, 0)
+		m.ApplyToWith(ws, y, b)
+		m.ApplyTransposeToWith(ws, yt, b)
+		m.ApplyBatchToWith(ws, Y, B)
+		ws.Close()
+		for i := range y {
+			if y[i] != yRef[i] || yt[i] != ytRef[i] {
+				t.Fatalf("w=%d unsymmetric apply/transpose differs at %d", w, i)
+			}
+		}
+		for i := range Y.Data {
+			if Y.Data[i] != YRef.Data[i] {
+				t.Fatalf("w=%d unsymmetric batch differs at flat %d", w, i)
+			}
+		}
+	}
+}
+
+// TestFastMathWithinTolerance checks the opt-in FMA accumulation: an
+// on-the-fly apply under Config.FastMath must agree with the default
+// (bitwise-pinned) path to rounding accuracy across all three apply variants.
+func TestFastMathWithinTolerance(t *testing.T) {
+	pts := pointset.Cube(1200, 3, 408)
+	m, err := Build(pts, kernel.Coulomb{},
+		Config{Kind: DataDriven, Mode: OnTheFly, Tol: 1e-5, LeafSize: 40, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randVec(m.N, 409)
+	B := mat.NewDense(m.N, 2)
+	copy(B.Data[:m.N], b)
+	copy(B.Data[m.N:], b)
+	y, yt := make([]float64, m.N), make([]float64, m.N)
+	Y := mat.NewDense(0, 0)
+	m.ApplyTo(y, b)
+	m.ApplyTransposeTo(yt, b)
+	m.ApplyBatchTo(Y, B)
+
+	m.Cfg.FastMath = true
+	yF, ytF := make([]float64, m.N), make([]float64, m.N)
+	YF := mat.NewDense(0, 0)
+	m.ApplyTo(yF, b)
+	m.ApplyTransposeTo(ytF, b)
+	m.ApplyBatchTo(YF, B)
+	m.Cfg.FastMath = false
+
+	scale := 0.0
+	for _, v := range y {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	const tol = 1e-12
+	for i := range y {
+		if math.Abs(y[i]-yF[i]) > tol*scale {
+			t.Fatalf("FastMath apply diverged at %d: %g vs %g", i, y[i], yF[i])
+		}
+		if math.Abs(yt[i]-ytF[i]) > tol*scale {
+			t.Fatalf("FastMath transpose diverged at %d: %g vs %g", i, yt[i], ytF[i])
+		}
+	}
+	for i := range Y.Data {
+		if math.Abs(Y.Data[i]-YF.Data[i]) > tol*scale {
+			t.Fatalf("FastMath batch diverged at flat %d: %g vs %g", i, Y.Data[i], YF.Data[i])
+		}
+	}
+}
+
+// TestSweepStatsConcurrentAppliers overlaps scheduled applies on distinct
+// workspaces of one matrix and checks the aggregated sweep stats count every
+// apply exactly once with positive stage times. Under -race this pins the
+// atomicity of the per-apply counter flush (per-worker lines folded into the
+// matrix atomics) that overlapping ApplyToWith calls exercise.
+func TestSweepStatsConcurrentAppliers(t *testing.T) {
+	pts := pointset.Cube(900, 3, 406)
+	m, err := Build(pts, kernel.Coulomb{},
+		Config{Kind: DataDriven, Mode: Hybrid, StorageBudget: 1 << 18, Tol: 1e-5, LeafSize: 40, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randVec(m.N, 407)
+	const goroutines, iters = 4, 6
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			y := make([]float64, m.N)
+			for it := 0; it < iters; it++ {
+				ws := m.getWorkspace()
+				m.ApplyToWith(ws, y, b)
+				m.putWorkspace(ws)
+			}
+		}()
+	}
+	wg.Wait()
+	st := m.SweepStats()
+	if st.Applies != goroutines*iters {
+		t.Fatalf("Applies = %d, want %d", st.Applies, goroutines*iters)
+	}
+	if st.UpNS <= 0 || st.CouplingNS <= 0 || st.DownNS <= 0 || st.LeafNS <= 0 {
+		t.Fatalf("scheduled stage timings not accumulating: %+v", st)
+	}
+	if st.HybridHits+st.HybridMisses == 0 {
+		t.Fatalf("hybrid counters not accumulating: %+v", st)
+	}
+}

@@ -44,6 +44,18 @@ func (t *sweepTimers) record(t0, t1, t2, t3, t4 int64) {
 	t.leaf.Add(t4 - t3)
 }
 
+// recordStages credits per-stage durations measured task-by-task under the
+// barrier-free scheduler (cumulative across workers, so the four stage sums
+// are CPU time, consistent with the documented semantics under concurrency).
+// Each total lands with one atomic add per stage; the apply itself is
+// counted separately by the scheduled path.
+func (t *sweepTimers) recordStages(up, coupling, down, leaf int64) {
+	t.up.Add(up)
+	t.coupling.Add(coupling)
+	t.down.Add(down)
+	t.leaf.Add(leaf)
+}
+
 // SweepStats is a snapshot of the cumulative per-stage sweep timings: how
 // the matvec time splits across the upward (leaf projection + bottom-to-top
 // transfer), coupling, downward (top-to-bottom transfer), and leaf

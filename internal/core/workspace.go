@@ -72,6 +72,20 @@ type Workspace struct {
 	upFn, coupFn, downFn, leafFn     func(w, i int)
 	upTFn, coupTFn, downTFn, leafTFn func(w, i int)
 
+	// ID-based method values for the barrier-free scheduler (the level sweep
+	// closures above route through ws.level; the scheduler addresses nodes by
+	// id). Prebuilt so selecting a variant per apply is a field copy, not a
+	// closure allocation.
+	upIDFn, downIDFn   func(w, i int)
+	upTIDFn, downTIDFn func(w, i int)
+	bUpIDFn, bDownIDFn func(w, i int)
+
+	// Scheduler state: the current apply variant's per-stage kernels, the
+	// worker loop method value, and the resettable task-queue state.
+	schedUp, schedCoup, schedDown, schedLeaf func(w, i int)
+	schedRunFn                               func(slot int)
+	sched                                    scheduler
+
 	// Coupling selectors for the sharded scatter/gather apply: identical
 	// per-node arithmetic to coupFn/coupTFn/bCoupFn, but indexed through
 	// ws.level so a sweep can cover an arbitrary node subset instead of all
@@ -116,23 +130,40 @@ func (m *Matrix) NewWorkspace() *Workspace {
 	ws.pool = par.NewPool(ws.workers)
 	ws.growScratch(ws.workers)
 
-	ws.upFn = ws.upNode
+	ws.upFn = ws.upLevel
 	ws.coupFn = ws.coupNode
-	ws.downFn = ws.downNode
+	ws.downFn = ws.downLevel
 	ws.leafFn = ws.leafNode
-	ws.upTFn = ws.upNodeT
+	ws.upTFn = ws.upLevelT
 	ws.coupTFn = ws.coupNodeT
-	ws.downTFn = ws.downNodeT
+	ws.downTFn = ws.downLevelT
 	ws.leafTFn = ws.leafNodeT
-	ws.bUpFn = ws.upNodeB
+	ws.bUpFn = ws.upLevelB
 	ws.bCoupFn = ws.coupNodeB
-	ws.bDownFn = ws.downNodeB
+	ws.bDownFn = ws.downLevelB
 	ws.bLeafFn = ws.leafNodeB
 	ws.coupSelFn = ws.coupNodeSel
 	ws.coupTSelFn = ws.coupNodeTSel
 	ws.bCoupSelFn = ws.coupNodeBSel
+	ws.upIDFn = ws.upNode
+	ws.downIDFn = ws.downNode
+	ws.upTIDFn = ws.upNodeT
+	ws.downTIDFn = ws.downNodeT
+	ws.bUpIDFn = ws.upNodeB
+	ws.bDownIDFn = ws.downNodeB
+	ws.schedRunFn = ws.runSched
 	return ws
 }
+
+// upLevel and friends route the level-synchronous sweeps (which index the
+// current ws.level slice) to the ID-based per-node kernels shared with the
+// barrier-free scheduler.
+func (ws *Workspace) upLevel(w, k int)    { ws.upNode(w, ws.level[k]) }
+func (ws *Workspace) downLevel(w, k int)  { ws.downNode(w, ws.level[k]) }
+func (ws *Workspace) upLevelT(w, k int)   { ws.upNodeT(w, ws.level[k]) }
+func (ws *Workspace) downLevelT(w, k int) { ws.downNodeT(w, ws.level[k]) }
+func (ws *Workspace) upLevelB(w, k int)   { ws.upNodeB(w, ws.level[k]) }
+func (ws *Workspace) downLevelB(w, k int) { ws.downNodeB(w, ws.level[k]) }
 
 // coupNodeSel and friends route a subset coupling sweep (node ids in
 // ws.level) to the full-sweep per-node kernels.
@@ -140,11 +171,18 @@ func (ws *Workspace) coupNodeSel(w, k int)  { ws.coupNode(w, ws.level[k]) }
 func (ws *Workspace) coupNodeTSel(w, k int) { ws.coupNodeT(w, ws.level[k]) }
 func (ws *Workspace) coupNodeBSel(w, k int) { ws.coupNodeB(w, ws.level[k]) }
 
-// Per-worker counter layout within Workspace.ctr.
+// Per-worker counter layout within Workspace.ctr. The first three slots are
+// the on-the-fly instrumentation; the last four accumulate per-stage task
+// nanoseconds under the barrier-free scheduler (the level-synchronous path
+// times stages by wall clock instead and leaves them zero).
 const (
 	ctrOtfNS  = 0
 	ctrHit    = 1
 	ctrMiss   = 2
+	ctrUpNS   = 3
+	ctrCoupNS = 4
+	ctrDownNS = 5
+	ctrLeafNS = 6
 	ctrStride = 8 // one 64-byte cache line per worker
 )
 
@@ -159,17 +197,24 @@ func (ws *Workspace) growScratch(n int) {
 	}
 }
 
-// flushCounters folds the per-worker on-the-fly counters into the matrix's
-// cumulative sweep stats and zeroes them for the next apply.
+// flushCounters folds the per-worker counters into the matrix's cumulative
+// sweep stats and zeroes them for the next apply. Each total lands in its
+// destination with a single atomic add, so overlapping applies on distinct
+// workspaces of one matrix interleave whole-apply contributions, never
+// partial ones.
 func (ws *Workspace) flushCounters() {
-	var ns, hit, miss int64
+	var ns, hit, miss, up, coup, down, leaf int64
 	for base := 0; base < len(ws.ctr); base += ctrStride {
 		ns += ws.ctr[base+ctrOtfNS]
 		hit += ws.ctr[base+ctrHit]
 		miss += ws.ctr[base+ctrMiss]
-		ws.ctr[base+ctrOtfNS] = 0
-		ws.ctr[base+ctrHit] = 0
-		ws.ctr[base+ctrMiss] = 0
+		up += ws.ctr[base+ctrUpNS]
+		coup += ws.ctr[base+ctrCoupNS]
+		down += ws.ctr[base+ctrDownNS]
+		leaf += ws.ctr[base+ctrLeafNS]
+		for s := ctrOtfNS; s <= ctrLeafNS; s++ {
+			ws.ctr[base+s] = 0
+		}
 	}
 	if ns != 0 {
 		ws.m.sweeps.otfAssembly.Add(ns)
@@ -179,6 +224,9 @@ func (ws *Workspace) flushCounters() {
 	}
 	if miss != 0 {
 		ws.m.sweeps.hybridMisses.Add(miss)
+	}
+	if up|coup|down|leaf != 0 {
+		ws.m.sweeps.recordStages(up, coup, down, leaf)
 	}
 }
 
@@ -290,21 +338,27 @@ func (m *Matrix) applyPermutedWith(ws *Workspace, yp, bp []float64) {
 	ws.q, ws.qOff = ws.colSlab, ws.colOff
 	ws.g, ws.gOff = ws.rowSlab, ws.rowOff
 
-	t0 := nowNS()
-	for l := m.Tree.Depth() - 1; l >= 0; l-- {
-		ws.level = m.Tree.Levels[l]
-		ws.forWorker(len(ws.level), ws.upFn)
+	if ws.useSched() {
+		ws.schedUp, ws.schedCoup = ws.upIDFn, ws.coupFn
+		ws.schedDown, ws.schedLeaf = ws.downIDFn, ws.leafFn
+		ws.runScheduled()
+	} else {
+		t0 := nowNS()
+		for l := m.Tree.Depth() - 1; l >= 0; l-- {
+			ws.level = m.Tree.Levels[l]
+			ws.forWorker(len(ws.level), ws.upFn)
+		}
+		t1 := nowNS()
+		ws.forWorker(len(m.Tree.Nodes), ws.coupFn)
+		t2 := nowNS()
+		for l := 0; l < m.Tree.Depth(); l++ {
+			ws.level = m.Tree.Levels[l]
+			ws.forWorker(len(ws.level), ws.downFn)
+		}
+		t3 := nowNS()
+		ws.forWorker(len(m.Tree.Leaves), ws.leafFn)
+		m.sweeps.record(t0, t1, t2, t3, nowNS())
 	}
-	t1 := nowNS()
-	ws.forWorker(len(m.Tree.Nodes), ws.coupFn)
-	t2 := nowNS()
-	for l := 0; l < m.Tree.Depth(); l++ {
-		ws.level = m.Tree.Levels[l]
-		ws.forWorker(len(ws.level), ws.downFn)
-	}
-	t3 := nowNS()
-	ws.forWorker(len(m.Tree.Leaves), ws.leafFn)
-	m.sweeps.record(t0, t1, t2, t3, nowNS())
 	ws.flushCounters()
 	ws.curB, ws.curY = nil, nil
 }
@@ -318,21 +372,27 @@ func (m *Matrix) applyTransposePermutedWith(ws *Workspace, yp, bp []float64) {
 	ws.q, ws.qOff = ws.rowSlab, ws.rowOff
 	ws.g, ws.gOff = ws.colSlab, ws.colOff
 
-	t0 := nowNS()
-	for l := m.Tree.Depth() - 1; l >= 0; l-- {
-		ws.level = m.Tree.Levels[l]
-		ws.forWorker(len(ws.level), ws.upTFn)
+	if ws.useSched() {
+		ws.schedUp, ws.schedCoup = ws.upTIDFn, ws.coupTFn
+		ws.schedDown, ws.schedLeaf = ws.downTIDFn, ws.leafTFn
+		ws.runScheduled()
+	} else {
+		t0 := nowNS()
+		for l := m.Tree.Depth() - 1; l >= 0; l-- {
+			ws.level = m.Tree.Levels[l]
+			ws.forWorker(len(ws.level), ws.upTFn)
+		}
+		t1 := nowNS()
+		ws.forWorker(len(m.Tree.Nodes), ws.coupTFn)
+		t2 := nowNS()
+		for l := 0; l < m.Tree.Depth(); l++ {
+			ws.level = m.Tree.Levels[l]
+			ws.forWorker(len(ws.level), ws.downTFn)
+		}
+		t3 := nowNS()
+		ws.forWorker(len(m.Tree.Leaves), ws.leafTFn)
+		m.sweeps.record(t0, t1, t2, t3, nowNS())
 	}
-	t1 := nowNS()
-	ws.forWorker(len(m.Tree.Nodes), ws.coupTFn)
-	t2 := nowNS()
-	for l := 0; l < m.Tree.Depth(); l++ {
-		ws.level = m.Tree.Levels[l]
-		ws.forWorker(len(ws.level), ws.downTFn)
-	}
-	t3 := nowNS()
-	ws.forWorker(len(m.Tree.Leaves), ws.leafTFn)
-	m.sweeps.record(t0, t1, t2, t3, nowNS())
 	ws.flushCounters()
 	ws.curB, ws.curY = nil, nil
 }
@@ -350,9 +410,8 @@ func zero(s []float64) {
 // upNode is stage 1+2 for Apply: leaves project their input slice through
 // the column basis; internal nodes combine children through the stacked
 // column transfer blocks.
-func (ws *Workspace) upNode(_, k int) {
+func (ws *Workspace) upNode(_, id int) {
 	m := ws.m
-	id := ws.level[k]
 	nd := &m.Tree.Nodes[id]
 	qi := seg(ws.q, ws.qOff, id)
 	zero(qi)
@@ -403,6 +462,8 @@ func (ws *Workspace) coupNode(w, id int) {
 		if m.seedOTF {
 			tile := kernel.Assemble(ws.scratch[w], m.Kern, m.skelPts[id], m.skel[id], m.skelPts[j], m.colSkeleton(j))
 			mat.MulVecAdd(gi, tile, qj)
+		} else if m.Cfg.FastMath {
+			kernel.BlockVecAddFMA(gi, m.Kern, m.skelPts[id], m.skel[id], m.skelPts[j], m.colSkeleton(j), qj)
 		} else {
 			kernel.BlockVecAdd(gi, m.Kern, m.skelPts[id], m.skel[id], m.skelPts[j], m.colSkeleton(j), qj)
 		}
@@ -412,9 +473,8 @@ func (ws *Workspace) coupNode(w, id int) {
 
 // downNode is stage 4 for Apply: g_c += R_c g_i, parents writing only their
 // own children's segments.
-func (ws *Workspace) downNode(_, k int) {
+func (ws *Workspace) downNode(_, id int) {
 	m := ws.m
-	id := ws.level[k]
 	nd := &m.Tree.Nodes[id]
 	if nd.IsLeaf || m.ranks[id] == 0 {
 		return
@@ -459,6 +519,8 @@ func (ws *Workspace) leafNode(w, k int) {
 		if m.seedOTF {
 			tile := kernel.Assemble(ws.scratch[w], m.Kern, m.Tree.Points, m.leafRange(id), m.Tree.Points, m.leafRange(j))
 			mat.MulVecAdd(yi, tile, bj)
+		} else if m.Cfg.FastMath {
+			kernel.BlockVecAddFMA(yi, m.Kern, m.Tree.Points, m.leafRange(id), m.Tree.Points, m.leafRange(j), bj)
 		} else {
 			kernel.BlockVecAdd(yi, m.Kern, m.Tree.Points, m.leafRange(id), m.Tree.Points, m.leafRange(j), bj)
 		}
@@ -467,9 +529,8 @@ func (ws *Workspace) leafNode(w, k int) {
 }
 
 // upNodeT is the transpose upward sweep through the ROW generators (U, R).
-func (ws *Workspace) upNodeT(_, k int) {
+func (ws *Workspace) upNodeT(_, id int) {
 	m := ws.m
-	id := ws.level[k]
 	nd := &m.Tree.Nodes[id]
 	qi := seg(ws.q, ws.qOff, id)
 	zero(qi)
@@ -530,6 +591,8 @@ func (ws *Workspace) coupNodeT(w, id int) {
 		if m.seedOTF {
 			tile := kernel.Assemble(ws.scratch[w], m.Kern, m.skelPts[j], m.skel[j], m.skelPts[id], m.colSkeleton(id))
 			mat.MulTVecAdd(gi, tile, qj)
+		} else if m.Cfg.FastMath {
+			kernel.BlockTVecAddFMA(gi, m.Kern, m.skelPts[j], m.skel[j], m.skelPts[id], m.colSkeleton(id), qj)
 		} else {
 			kernel.BlockTVecAdd(gi, m.Kern, m.skelPts[j], m.skel[j], m.skelPts[id], m.colSkeleton(id), qj)
 		}
@@ -538,9 +601,8 @@ func (ws *Workspace) coupNodeT(w, id int) {
 }
 
 // downNodeT is the transpose downward sweep through the COLUMN generators.
-func (ws *Workspace) downNodeT(_, k int) {
+func (ws *Workspace) downNodeT(_, id int) {
 	m := ws.m
-	id := ws.level[k]
 	nd := &m.Tree.Nodes[id]
 	if nd.IsLeaf || m.colRank(id) == 0 {
 		return
@@ -590,6 +652,8 @@ func (ws *Workspace) leafNodeT(w, k int) {
 		if m.seedOTF {
 			tile := kernel.Assemble(ws.scratch[w], m.Kern, m.Tree.Points, m.leafRange(j), m.Tree.Points, m.leafRange(id))
 			mat.MulTVecAdd(yi, tile, bj)
+		} else if m.Cfg.FastMath {
+			kernel.BlockTVecAddFMA(yi, m.Kern, m.Tree.Points, m.leafRange(j), m.Tree.Points, m.leafRange(id), bj)
 		} else {
 			kernel.BlockTVecAdd(yi, m.Kern, m.Tree.Points, m.leafRange(j), m.Tree.Points, m.leafRange(id), bj)
 		}
@@ -665,21 +729,27 @@ func (m *Matrix) ApplyBatchToWith(ws *Workspace, Y, B *mat.Dense) {
 		copy(ws.bpB.Row(row), B.Row(orig))
 	}
 
-	t0 := nowNS()
-	for l := m.Tree.Depth() - 1; l >= 0; l-- {
-		ws.level = m.Tree.Levels[l]
-		ws.forWorker(len(ws.level), ws.bUpFn)
+	if ws.useSched() {
+		ws.schedUp, ws.schedCoup = ws.bUpIDFn, ws.bCoupFn
+		ws.schedDown, ws.schedLeaf = ws.bDownIDFn, ws.bLeafFn
+		ws.runScheduled()
+	} else {
+		t0 := nowNS()
+		for l := m.Tree.Depth() - 1; l >= 0; l-- {
+			ws.level = m.Tree.Levels[l]
+			ws.forWorker(len(ws.level), ws.bUpFn)
+		}
+		t1 := nowNS()
+		ws.forWorker(len(m.Tree.Nodes), ws.bCoupFn)
+		t2 := nowNS()
+		for l := 0; l < m.Tree.Depth(); l++ {
+			ws.level = m.Tree.Levels[l]
+			ws.forWorker(len(ws.level), ws.bDownFn)
+		}
+		t3 := nowNS()
+		ws.forWorker(len(m.Tree.Leaves), ws.bLeafFn)
+		m.sweeps.record(t0, t1, t2, t3, nowNS())
 	}
-	t1 := nowNS()
-	ws.forWorker(len(m.Tree.Nodes), ws.bCoupFn)
-	t2 := nowNS()
-	for l := 0; l < m.Tree.Depth(); l++ {
-		ws.level = m.Tree.Levels[l]
-		ws.forWorker(len(ws.level), ws.bDownFn)
-	}
-	t3 := nowNS()
-	ws.forWorker(len(m.Tree.Leaves), ws.bLeafFn)
-	m.sweeps.record(t0, t1, t2, t3, nowNS())
 	ws.flushCounters()
 
 	// Un-permute rows into the caller's output.
@@ -691,9 +761,8 @@ func (m *Matrix) ApplyBatchToWith(ws *Workspace, Y, B *mat.Dense) {
 
 // upNodeB is the batched upward sweep: q_i = V_iᵀ B_i for leaves,
 // q_i = Σ_c W_cᵀ q_c above.
-func (ws *Workspace) upNodeB(w, k int) {
+func (ws *Workspace) upNodeB(w, id int) {
 	m := ws.m
-	id := ws.level[k]
 	nd := &m.Tree.Nodes[id]
 	qi := ws.qB[id]
 	zero(qi.Data)
@@ -742,6 +811,8 @@ func (ws *Workspace) coupNodeB(w, id int) {
 		if m.seedOTF {
 			tile := kernel.Assemble(ws.scratch[w], m.Kern, m.skelPts[id], m.skel[id], m.skelPts[j], m.colSkeleton(j))
 			mat.MulAddTo(gi, tile, ws.qB[j])
+		} else if m.Cfg.FastMath {
+			kernel.BlockMulAddFMA(gi, m.Kern, m.skelPts[id], m.skel[id], m.skelPts[j], m.colSkeleton(j), ws.qB[j], ws.scratch[w])
 		} else {
 			kernel.BlockMulAdd(gi, m.Kern, m.skelPts[id], m.skel[id], m.skelPts[j], m.colSkeleton(j), ws.qB[j], ws.scratch[w])
 		}
@@ -750,9 +821,8 @@ func (ws *Workspace) coupNodeB(w, id int) {
 }
 
 // downNodeB is the batched downward sweep: g_c += R_c g_i.
-func (ws *Workspace) downNodeB(_, k int) {
+func (ws *Workspace) downNodeB(_, id int) {
 	m := ws.m
-	id := ws.level[k]
 	nd := &m.Tree.Nodes[id]
 	if nd.IsLeaf || m.ranks[id] == 0 {
 		return
@@ -796,6 +866,8 @@ func (ws *Workspace) leafNodeB(w, k int) {
 		if m.seedOTF {
 			tile := kernel.Assemble(ws.scratch[w], m.Kern, m.Tree.Points, m.leafRange(id), m.Tree.Points, m.leafRange(j))
 			mat.MulAddTo(yi, tile, bj)
+		} else if m.Cfg.FastMath {
+			kernel.BlockMulAddFMA(yi, m.Kern, m.Tree.Points, m.leafRange(id), m.Tree.Points, m.leafRange(j), bj, ws.scratch[w])
 		} else {
 			kernel.BlockMulAdd(yi, m.Kern, m.Tree.Points, m.leafRange(id), m.Tree.Points, m.leafRange(j), bj, ws.scratch[w])
 		}

@@ -117,23 +117,13 @@ func evalChunk(k Kernel, dst, r2 []float64) {
 	dst = dst[:len(r2)]
 	switch kk := k.(type) {
 	case Coulomb:
-		for t, v := range r2 {
-			r := math.Sqrt(v)
-			if r == 0 {
-				dst[t] = 0
-				continue
-			}
-			dst[t] = 1 / r
-		}
+		// mat.RecipSqrtChunk is the vector-width form of
+		//   r := math.Sqrt(v); dst[t] = 0 if r == 0 else 1/r
+		// (VSQRTPD/VDIVPD are correctly rounded, so it stays bitwise-equal
+		// to the scalar loop).
+		mat.RecipSqrtChunk(dst, r2)
 	case CoulombCubed:
-		for t, v := range r2 {
-			r := math.Sqrt(v)
-			if r == 0 {
-				dst[t] = 0
-				continue
-			}
-			dst[t] = 1 / (r * r * r)
-		}
+		mat.RecipCubeChunk(dst, r2)
 	case Exponential:
 		for t, v := range r2 {
 			dst[t] = math.Exp(-math.Sqrt(v))
@@ -251,6 +241,17 @@ func evalOne(rk Kernel, pk Pairwise, radial bool, xi []float64, y *pointset.Poin
 // fused form of Assemble + mat.MulVecAdd, bitwise-identical to it. out is
 // indexed by row position (len(rows)), v by column position (len(cols)).
 func BlockVecAdd(out []float64, pk Pairwise, x *pointset.Points, rows []int, y *pointset.Points, cols []int, v []float64) {
+	blockVecAdd(out, pk, x, rows, y, cols, v, false)
+}
+
+// BlockVecAddFMA is BlockVecAdd with fused multiply-adds (one rounding per
+// multiply-add instead of two) — the Config.FastMath accumulation, NOT
+// bitwise-compatible with the default path.
+func BlockVecAddFMA(out []float64, pk Pairwise, x *pointset.Points, rows []int, y *pointset.Points, cols []int, v []float64) {
+	blockVecAdd(out, pk, x, rows, y, cols, v, true)
+}
+
+func blockVecAdd(out []float64, pk Pairwise, x *pointset.Points, rows []int, y *pointset.Points, cols []int, v []float64, fma bool) {
 	rk, radial := pk.(Kernel)
 	d := x.Dim
 	L := len(cols)
@@ -258,22 +259,26 @@ func BlockVecAdd(out []float64, pk Pairwise, x *pointset.Points, rows []int, y *
 	var r2buf, kbuf [fusedChunk]float64
 	for a, i := range rows {
 		xi := x.Coords[i*d : i*d+d]
-		var s0, s1, s2, s3 float64
+		// acc's four lanes are dot's accumulators s0..s3; chunk lengths
+		// inside [0, U) are multiples of 4, so the lane mapping never slips.
+		var acc [4]float64
 		for b0 := 0; b0 < U; b0 += fusedChunk {
 			b1 := min(b0+fusedChunk, U)
 			kernelChunk(rk, pk, radial, kbuf[:], r2buf[:], xi, y, cols[b0:b1], d)
 			vv := v[b0:b1]
-			kk := kbuf[:len(vv)]
-			for t := 0; t+4 <= len(vv); t += 4 {
-				s0 += kk[t] * vv[t]
-				s1 += kk[t+1] * vv[t+1]
-				s2 += kk[t+2] * vv[t+2]
-				s3 += kk[t+3] * vv[t+3]
+			if fma {
+				mat.DotAcc4FMA(kbuf[:len(vv)], vv, &acc)
+			} else {
+				mat.DotAcc4(kbuf[:len(vv)], vv, &acc)
 			}
 		}
-		s := (s0 + s1) + (s2 + s3)
+		s := (acc[0] + acc[1]) + (acc[2] + acc[3])
 		for b := U; b < L; b++ {
-			s += evalOne(rk, pk, radial, xi, y, cols[b], d) * v[b]
+			if fma {
+				s = math.FMA(evalOne(rk, pk, radial, xi, y, cols[b], d), v[b], s)
+			} else {
+				s += evalOne(rk, pk, radial, xi, y, cols[b], d) * v[b]
+			}
 		}
 		out[a] += s
 	}
@@ -285,6 +290,16 @@ func BlockVecAdd(out []float64, pk Pairwise, x *pointset.Points, rows []int, y *
 // evaluated at all, exactly as MulTVecAdd never touches them). out is
 // indexed by column position, v by row position.
 func BlockTVecAdd(out []float64, pk Pairwise, x *pointset.Points, rows []int, y *pointset.Points, cols []int, v []float64) {
+	blockTVecAdd(out, pk, x, rows, y, cols, v, false)
+}
+
+// BlockTVecAddFMA is BlockTVecAdd with fused multiply-adds — the
+// Config.FastMath accumulation, NOT bitwise-compatible with the default path.
+func BlockTVecAddFMA(out []float64, pk Pairwise, x *pointset.Points, rows []int, y *pointset.Points, cols []int, v []float64) {
+	blockTVecAdd(out, pk, x, rows, y, cols, v, true)
+}
+
+func blockTVecAdd(out []float64, pk Pairwise, x *pointset.Points, rows []int, y *pointset.Points, cols []int, v []float64, fma bool) {
 	rk, radial := pk.(Kernel)
 	d := x.Dim
 	R := len(rows)
@@ -294,16 +309,18 @@ func BlockTVecAdd(out []float64, pk Pairwise, x *pointset.Points, rows []int, y 
 		return x.Coords[i*d : i*d+d]
 	}
 	// pair applies rows r and r+1 with multipliers x0, x1 under axpyPair's
-	// zero-skip cases; single applies one row under axpy.
+	// zero-skip cases; single applies one row under axpy. The accumulation
+	// loops dispatch through mat's chunk helpers (AVX when available).
 	single := func(r int, xv float64) {
 		xi := xrow(r)
 		for b0 := 0; b0 < len(cols); b0 += fusedChunk {
 			b1 := min(b0+fusedChunk, len(cols))
 			kernelChunk(rk, pk, radial, k0[:], r2buf[:], xi, y, cols[b0:b1], d)
 			oo := out[b0:b1]
-			kk := k0[:len(oo)]
-			for t := range oo {
-				oo[t] += xv * kk[t]
+			if fma {
+				mat.AxpyChunkFMA(oo, xv, k0[:len(oo)])
+			} else {
+				mat.AxpyChunk(oo, xv, k0[:len(oo)])
 			}
 		}
 	}
@@ -322,8 +339,10 @@ func BlockTVecAdd(out []float64, pk Pairwise, x *pointset.Points, rows []int, y 
 				kernelChunk(rk, pk, radial, k0[:], r2buf[:], xi0, y, cc, d)
 				kernelChunk(rk, pk, radial, k1[:], r2buf[:], xi1, y, cc, d)
 				oo := out[b0:b1]
-				for t := range oo {
-					oo[t] = (oo[t] + x0*k0[t]) + x1*k1[t]
+				if fma {
+					mat.Axpy2ChunkFMA(oo, x0, k0[:len(oo)], x1, k1[:len(oo)])
+				} else {
+					mat.Axpy2Chunk(oo, x0, k0[:len(oo)], x1, k1[:len(oo)])
 				}
 			}
 		}
@@ -341,8 +360,10 @@ func BlockTVecAdd(out []float64, pk Pairwise, x *pointset.Points, rows []int, y 
 				kernelChunk(rk, pk, radial, k2[:], r2buf[:], xi2, y, cc, d)
 				kernelChunk(rk, pk, radial, k3[:], r2buf[:], xi3, y, cc, d)
 				oo := out[b0:b1]
-				for t := range oo {
-					oo[t] = (((oo[t] + x0*k0[t]) + x1*k1[t]) + x2*k2[t]) + x3*k3[t]
+				if fma {
+					mat.Axpy4ChunkFMA(oo, x0, k0[:len(oo)], x1, k1[:len(oo)], x2, k2[:len(oo)], x3, k3[:len(oo)])
+				} else {
+					mat.Axpy4Chunk(oo, x0, k0[:len(oo)], x1, k1[:len(oo)], x2, k2[:len(oo)], x3, k3[:len(oo)])
 				}
 			}
 			continue
@@ -366,6 +387,16 @@ func BlockTVecAdd(out []float64, pk Pairwise, x *pointset.Points, rows []int, y 
 // one row panel regardless of tile size. C is len(rows) x B.Cols and B is
 // len(cols) x B.Cols.
 func BlockMulAdd(c *mat.Dense, pk Pairwise, x *pointset.Points, rows []int, y *pointset.Points, cols []int, b *mat.Dense, rowbuf *mat.Dense) {
+	blockMulAdd(c, pk, x, rows, y, cols, b, rowbuf, false)
+}
+
+// BlockMulAddFMA is BlockMulAdd with fused multiply-adds — the
+// Config.FastMath accumulation, NOT bitwise-compatible with the default path.
+func BlockMulAddFMA(c *mat.Dense, pk Pairwise, x *pointset.Points, rows []int, y *pointset.Points, cols []int, b *mat.Dense, rowbuf *mat.Dense) {
+	blockMulAdd(c, pk, x, rows, y, cols, b, rowbuf, true)
+}
+
+func blockMulAdd(c *mat.Dense, pk Pairwise, x *pointset.Points, rows []int, y *pointset.Points, cols []int, b *mat.Dense, rowbuf *mat.Dense, fma bool) {
 	rk, radial := pk.(Kernel)
 	d := x.Dim
 	n := b.Cols
@@ -379,8 +410,14 @@ func BlockMulAdd(c *mat.Dense, pk Pairwise, x *pointset.Points, rows []int, y *p
 			kernelChunk(rk, pk, radial, row[b0:b1], r2buf[:], xi, y, cols[b0:b1], d)
 		}
 		crow := c.Row(a)
-		for j := 0; j < n; j++ {
-			crow[j] += mat.DotStride(row, b.Data, j, n)
+		if fma {
+			for j := 0; j < n; j++ {
+				crow[j] += mat.DotStrideFMA(row, b.Data, j, n)
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				crow[j] += mat.DotStride(row, b.Data, j, n)
+			}
 		}
 	}
 }

@@ -6,8 +6,10 @@
 //
 // The package is self-contained (standard library only) and tuned for the
 // small-to-medium matrices that arise per tree node (tens to a few thousand
-// rows): loops are cache-blocked and bounds checks hoisted, but no assembly
-// or unsafe code is used.
+// rows): loops are cache-blocked and bounds checks hoisted. On amd64 the hot
+// vector primitives dispatch to hand-written AVX assembly that preserves the
+// scalar rounding order bitwise (see simd.go); everywhere else, and under
+// the noasm build tag, pure Go runs. No unsafe code is used.
 package mat
 
 import (
@@ -301,6 +303,14 @@ func MulVecAdd(y []float64, a *Dense, x []float64) {
 // results mutually bitwise-identical.
 func dot(row, x []float64) float64 {
 	x = x[:len(row)] // bounds-check elimination for the unrolled loads
+	if simdEnabled && len(row) >= simdMinDot {
+		u := len(row) &^ 3
+		s := dotBody(row[:u], x[:u])
+		for j := u; j < len(row); j++ {
+			s += row[j] * x[j]
+		}
+		return s
+	}
 	var s0, s1, s2, s3 float64
 	j := 0
 	for ; j+4 <= len(row); j += 4 {
@@ -322,6 +332,15 @@ func dot(row, x []float64) float64 {
 func dot2(r0, r1, x []float64) (float64, float64) {
 	x = x[:len(r0)]
 	r1 = r1[:len(r0)]
+	if simdEnabled && len(r0) >= simdMinDot {
+		u := len(r0) &^ 3
+		sa, sb := dot2Body(r0[:u], r1[:u], x[:u])
+		for j := u; j < len(r0); j++ {
+			sa += r0[j] * x[j]
+			sb += r1[j] * x[j]
+		}
+		return sa, sb
+	}
 	var a0, a1, a2, a3 float64
 	var b0, b1, b2, b3 float64
 	j := 0
@@ -374,6 +393,14 @@ func DotStride(row, b []float64, j, n int) float64 { return dotStride(row, b, j,
 // exactly one add, so unrolling preserves per-element accumulation order.
 func axpy(y []float64, a float64, x []float64) {
 	y = y[:len(x)] // bounds-check elimination for the unrolled stores
+	if simdEnabled && len(x) >= simdMinAxpy {
+		u := len(x) &^ 3
+		axpyBody(y[:u], x[:u], a)
+		for i := u; i < len(x); i++ {
+			y[i] += a * x[i]
+		}
+		return
+	}
 	i := 0
 	for ; i+4 <= len(x); i += 4 {
 		y[i] += a * x[i]
@@ -392,6 +419,14 @@ func axpy(y []float64, a float64, x []float64) {
 func axpy2(y []float64, a0 float64, x0 []float64, a1 float64, x1 []float64) {
 	y = y[:len(x0)]
 	x1 = x1[:len(x0)]
+	if simdEnabled && len(x0) >= simdMinAxpy {
+		u := len(x0) &^ 3
+		axpy2Body(y[:u], x0[:u], x1[:u], a0, a1)
+		for i := u; i < len(x0); i++ {
+			y[i] = (y[i] + a0*x0[i]) + a1*x1[i]
+		}
+		return
+	}
 	i := 0
 	for ; i+4 <= len(x0); i += 4 {
 		y[i] = (y[i] + a0*x0[i]) + a1*x1[i]
@@ -412,6 +447,14 @@ func axpy4(y []float64, a0 float64, x0 []float64, a1 float64, x1 []float64, a2 f
 	x1 = x1[:len(x0)]
 	x2 = x2[:len(x0)]
 	x3 = x3[:len(x0)]
+	if simdEnabled && len(x0) >= simdMinAxpy {
+		u := len(x0) &^ 3
+		axpy4Body(y[:u], x0[:u], x1[:u], x2[:u], x3[:u], a0, a1, a2, a3)
+		for i := u; i < len(x0); i++ {
+			y[i] = (((y[i] + a0*x0[i]) + a1*x1[i]) + a2*x2[i]) + a3*x3[i]
+		}
+		return
+	}
 	for i := range x0 {
 		y[i] = (((y[i] + a0*x0[i]) + a1*x1[i]) + a2*x2[i]) + a3*x3[i]
 	}

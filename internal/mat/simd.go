@@ -1,0 +1,186 @@
+package mat
+
+import "math"
+
+// SIMD dispatch layer.
+//
+// On amd64 with OS-enabled AVX, the hot vector primitives (dot, dot2, axpy,
+// axpy2, axpy4) and the fused-kernel chunk helpers route their 4-aligned body
+// through hand-written AVX assembly. The assembly is constructed to be
+// bitwise-identical to the scalar loops, not merely close:
+//
+//   - dot keeps ONE 4-lane ymm accumulator whose lanes are exactly the four
+//     scalar accumulators s0..s3, reduced as (s0+s1)+(s2+s3) via per-half
+//     horizontal adds — the same rounding sequence as the scalar code. (This
+//     also means the reduction chain, not the multiplies, bounds dot's
+//     speedup; axpy-shaped loops with independent elements get the full
+//     vector width.)
+//   - the axpy family applies the same per-element multiply/add sequence with
+//     separate VMULPD/VADDPD (never FMA), so each element sees the identical
+//     roundings in the identical order.
+//   - RecipSqrtChunk/RecipCubeChunk use VSQRTPD and VDIVPD, which IEEE-754
+//     requires to be correctly rounded exactly like math.Sqrt and scalar
+//     division.
+//
+// Scalar tails (length % 4) always run in Go, after the assembly body for
+// dots (matching the scalar tail order) and element-wise for axpys.
+//
+// simdEnabled may be toggled by SetSIMD for A/B tests and micro-benchmarks;
+// it is a plain bool read on every dispatch, so toggle it only from a single
+// goroutine with no products in flight.
+var simdEnabled = hasAVX()
+
+// Dispatch thresholds: below these lengths the call overhead of the assembly
+// body outstrips its gain. axpy-shaped loops win at the full vector width so
+// they dispatch early; dot-shaped loops are reduction-latency-bound and need
+// longer rows to amortize the extra reduce.
+const (
+	simdMinAxpy = 8
+	simdMinDot  = 12
+)
+
+// SIMDAvailable reports whether the running CPU and OS support the AVX path.
+func SIMDAvailable() bool { return hasAVX() }
+
+// SIMDEnabled reports whether the AVX path is currently selected.
+func SIMDEnabled() bool { return simdEnabled }
+
+// SetSIMD enables or disables the AVX path (no-op enable when unavailable)
+// and returns the previous setting. Not safe to call concurrently with
+// running products; intended for equivalence tests and micro-benchmarks.
+func SetSIMD(on bool) bool {
+	prev := simdEnabled
+	simdEnabled = on && hasAVX()
+	return prev
+}
+
+// DotAcc4 accumulates acc[l] += Σ_{t ≡ l (mod 4)} k[t]*v[t] for the four
+// dot-accumulator lanes — the chunk-resident core of the fused BlockVecAdd.
+// len(v) must be a multiple of 4 and len(k) >= len(v); lane l sees its
+// partial sums in index order, exactly as the scalar 4-accumulator loop.
+func DotAcc4(k, v []float64, acc *[4]float64) {
+	if simdEnabled && len(v) >= simdMinDot {
+		dotAcc4Body(k[:len(v)], v, acc)
+		return
+	}
+	k = k[:len(v)]
+	for t := 0; t+4 <= len(v); t += 4 {
+		acc[0] += k[t] * v[t]
+		acc[1] += k[t+1] * v[t+1]
+		acc[2] += k[t+2] * v[t+2]
+		acc[3] += k[t+3] * v[t+3]
+	}
+}
+
+// AxpyChunk computes y[i] += a*x[i] over len(x) elements — the exported form
+// of axpy for the fused kernel primitives.
+func AxpyChunk(y []float64, a float64, x []float64) { axpy(y, a, x) }
+
+// Axpy2Chunk computes y[i] = (y[i] + a0*x0[i]) + a1*x1[i].
+func Axpy2Chunk(y []float64, a0 float64, x0 []float64, a1 float64, x1 []float64) {
+	axpy2(y, a0, x0, a1, x1)
+}
+
+// Axpy4Chunk fuses four sequential axpy passes with one rounding per add.
+func Axpy4Chunk(y []float64, a0 float64, x0 []float64, a1 float64, x1 []float64, a2 float64, x2 []float64, a3 float64, x3 []float64) {
+	axpy4(y, a0, x0, a1, x1, a2, x2, a3, x3)
+}
+
+// RecipSqrtChunk fills dst[t] = 1/sqrt(r2[t]), with 0 where r2[t] == 0 — the
+// Coulomb kernel's chunk evaluation. Both the AVX body (VSQRTPD + VDIVPD,
+// correctly rounded by IEEE-754) and the scalar loop reproduce
+// math.Sqrt-then-divide bitwise.
+func RecipSqrtChunk(dst, r2 []float64) {
+	dst = dst[:len(r2)]
+	t := 0
+	if simdEnabled && len(r2) >= simdMinAxpy {
+		u := len(r2) &^ 3
+		recipSqrtBody(dst[:u], r2[:u])
+		t = u
+	}
+	for ; t < len(r2); t++ {
+		r := math.Sqrt(r2[t])
+		if r == 0 {
+			dst[t] = 0
+			continue
+		}
+		dst[t] = 1 / r
+	}
+}
+
+// RecipCubeChunk fills dst[t] = 1/r³ with r = sqrt(r2[t]), 0 where r2[t] == 0
+// — the CoulombCubed chunk evaluation, multiplying r*r then *r before the
+// divide exactly as the scalar code.
+func RecipCubeChunk(dst, r2 []float64) {
+	dst = dst[:len(r2)]
+	t := 0
+	if simdEnabled && len(r2) >= simdMinAxpy {
+		u := len(r2) &^ 3
+		recipCubeBody(dst[:u], r2[:u])
+		t = u
+	}
+	for ; t < len(r2); t++ {
+		r := math.Sqrt(r2[t])
+		if r == 0 {
+			dst[t] = 0
+			continue
+		}
+		dst[t] = 1 / (r * r * r)
+	}
+}
+
+// ---- FastMath (FMA) variants ----
+//
+// The FMA forms contract each multiply-add to one rounding via math.FMA
+// (hardware-fused on amd64). They are NOT bitwise-compatible with the
+// default path — core.Config.FastMath opts into them explicitly, and the
+// equivalence guarantees between storage modes only hold with FastMath off.
+
+// DotAcc4FMA is DotAcc4 with fused multiply-adds.
+func DotAcc4FMA(k, v []float64, acc *[4]float64) {
+	k = k[:len(v)]
+	for t := 0; t+4 <= len(v); t += 4 {
+		acc[0] = math.FMA(k[t], v[t], acc[0])
+		acc[1] = math.FMA(k[t+1], v[t+1], acc[1])
+		acc[2] = math.FMA(k[t+2], v[t+2], acc[2])
+		acc[3] = math.FMA(k[t+3], v[t+3], acc[3])
+	}
+}
+
+// AxpyChunkFMA is AxpyChunk with fused multiply-adds.
+func AxpyChunkFMA(y []float64, a float64, x []float64) {
+	y = y[:len(x)]
+	for i, xv := range x {
+		y[i] = math.FMA(a, xv, y[i])
+	}
+}
+
+// Axpy2ChunkFMA fuses two axpy passes with one rounding per pass.
+func Axpy2ChunkFMA(y []float64, a0 float64, x0 []float64, a1 float64, x1 []float64) {
+	y = y[:len(x0)]
+	x1 = x1[:len(x0)]
+	for i := range x0 {
+		y[i] = math.FMA(a1, x1[i], math.FMA(a0, x0[i], y[i]))
+	}
+}
+
+// Axpy4ChunkFMA fuses four axpy passes with one rounding per pass.
+func Axpy4ChunkFMA(y []float64, a0 float64, x0 []float64, a1 float64, x1 []float64, a2 float64, x2 []float64, a3 float64, x3 []float64) {
+	y = y[:len(x0)]
+	x1 = x1[:len(x0)]
+	x2 = x2[:len(x0)]
+	x3 = x3[:len(x0)]
+	for i := range x0 {
+		y[i] = math.FMA(a3, x3[i], math.FMA(a2, x2[i], math.FMA(a1, x1[i], math.FMA(a0, x0[i], y[i]))))
+	}
+}
+
+// DotStrideFMA is DotStride with fused multiply-adds (one accumulator: the
+// FMA path trades the 4-lane grouping for maximal contraction).
+func DotStrideFMA(row, b []float64, j, n int) float64 {
+	var s float64
+	for k, rk := range row {
+		s = math.FMA(rk, b[k*n+j], s)
+	}
+	return s
+}

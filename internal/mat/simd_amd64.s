@@ -1,0 +1,260 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX bodies for the mat vector primitives. Every routine here preserves the
+// exact rounding sequence of its scalar counterpart in dense.go / simd.go:
+// separate VMULPD/VADDPD (no FMA), one 4-lane accumulator for dots reduced
+// as (s0+s1)+(s2+s3), and element-independent axpy loops. Lengths are
+// multiples of 4 (wrappers handle tails).
+
+DATA onef64<>+0(SB)/8, $0x3FF0000000000000 // 1.0
+GLOBL onef64<>(SB), RODATA|NOPTR, $8
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func dotBody(row, x []float64) float64
+// One ymm accumulator: lane l is the scalar accumulator s_l. Reduced as
+// (s0+s1)+(s2+s3) via per-half horizontal adds — NOT a tree over extracted
+// halves, which would regroup to (s0+s2)+(s1+s3).
+TEXT ·dotBody(SB), NOSPLIT, $0-56
+	MOVQ row_base+0(FP), SI
+	MOVQ row_len+8(FP), CX
+	MOVQ x_base+24(FP), DI
+	VXORPD Y0, Y0, Y0
+	XORQ AX, AX
+
+dotloop:
+	CMPQ AX, CX
+	JGE  dotreduce
+	VMOVUPD (SI)(AX*8), Y1
+	VMULPD  (DI)(AX*8), Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	ADDQ    $4, AX
+	JMP     dotloop
+
+dotreduce:
+	VEXTRACTF128 $1, Y0, X1
+	VHADDPD      X0, X0, X0 // s0+s1
+	VHADDPD      X1, X1, X1 // s2+s3
+	VADDSD       X1, X0, X0 // (s0+s1)+(s2+s3)
+	MOVSD        X0, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func dot2Body(r0, r1, x []float64) (float64, float64)
+// Two row accumulators sharing each x load; per-row reduction identical to
+// dotBody.
+TEXT ·dot2Body(SB), NOSPLIT, $0-88
+	MOVQ r0_base+0(FP), SI
+	MOVQ r0_len+8(FP), CX
+	MOVQ r1_base+24(FP), DI
+	MOVQ x_base+48(FP), DX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	XORQ AX, AX
+
+dot2loop:
+	CMPQ AX, CX
+	JGE  dot2reduce
+	VMOVUPD (DX)(AX*8), Y2
+	VMULPD  (SI)(AX*8), Y2, Y3
+	VADDPD  Y3, Y0, Y0
+	VMULPD  (DI)(AX*8), Y2, Y3
+	VADDPD  Y3, Y1, Y1
+	ADDQ    $4, AX
+	JMP     dot2loop
+
+dot2reduce:
+	VEXTRACTF128 $1, Y0, X2
+	VHADDPD      X0, X0, X0
+	VHADDPD      X2, X2, X2
+	VADDSD       X2, X0, X0
+	MOVSD        X0, ret+72(FP)
+	VEXTRACTF128 $1, Y1, X2
+	VHADDPD      X1, X1, X1
+	VHADDPD      X2, X2, X2
+	VADDSD       X2, X1, X1
+	MOVSD        X1, ret1+80(FP)
+	VZEROUPPER
+	RET
+
+// func dotAcc4Body(k, v []float64, acc *[4]float64)
+// The accumulator lanes live in memory across chunk calls; each lane sees
+// its partial sums in index order, as in the scalar 4-accumulator loop.
+TEXT ·dotAcc4Body(SB), NOSPLIT, $0-56
+	MOVQ k_base+0(FP), SI
+	MOVQ v_base+24(FP), DI
+	MOVQ v_len+32(FP), CX
+	MOVQ acc+48(FP), DX
+	VMOVUPD (DX), Y0
+	XORQ AX, AX
+
+acc4loop:
+	CMPQ AX, CX
+	JGE  acc4done
+	VMOVUPD (SI)(AX*8), Y1
+	VMULPD  (DI)(AX*8), Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	ADDQ    $4, AX
+	JMP     acc4loop
+
+acc4done:
+	VMOVUPD Y0, (DX)
+	VZEROUPPER
+	RET
+
+// func axpyBody(y, x []float64, a float64)
+// y[i] += a*x[i]; elements independent, multiply then add, no FMA.
+TEXT ·axpyBody(SB), NOSPLIT, $0-56
+	MOVQ y_base+0(FP), DI
+	MOVQ y_len+8(FP), CX
+	MOVQ x_base+24(FP), SI
+	VBROADCASTSD a+48(FP), Y2
+	XORQ AX, AX
+
+axpyloop:
+	CMPQ AX, CX
+	JGE  axpydone
+	VMULPD  (SI)(AX*8), Y2, Y1
+	VADDPD  (DI)(AX*8), Y1, Y1
+	VMOVUPD Y1, (DI)(AX*8)
+	ADDQ    $4, AX
+	JMP     axpyloop
+
+axpydone:
+	VZEROUPPER
+	RET
+
+// func axpy2Body(y, x0, x1 []float64, a0, a1 float64)
+// y[i] = (y[i] + a0*x0[i]) + a1*x1[i]: two sequential rounded adds.
+TEXT ·axpy2Body(SB), NOSPLIT, $0-88
+	MOVQ y_base+0(FP), DI
+	MOVQ y_len+8(FP), CX
+	MOVQ x0_base+24(FP), SI
+	MOVQ x1_base+48(FP), BX
+	VBROADCASTSD a0+72(FP), Y2
+	VBROADCASTSD a1+80(FP), Y3
+	XORQ AX, AX
+
+axpy2loop:
+	CMPQ AX, CX
+	JGE  axpy2done
+	VMULPD  (SI)(AX*8), Y2, Y0
+	VADDPD  (DI)(AX*8), Y0, Y0
+	VMULPD  (BX)(AX*8), Y3, Y1
+	VADDPD  Y1, Y0, Y0
+	VMOVUPD Y0, (DI)(AX*8)
+	ADDQ    $4, AX
+	JMP     axpy2loop
+
+axpy2done:
+	VZEROUPPER
+	RET
+
+// func axpy4Body(y, x0, x1, x2, x3 []float64, a0, a1, a2, a3 float64)
+// y[i] = (((y[i] + a0*x0[i]) + a1*x1[i]) + a2*x2[i]) + a3*x3[i].
+TEXT ·axpy4Body(SB), NOSPLIT, $0-152
+	MOVQ y_base+0(FP), DI
+	MOVQ y_len+8(FP), CX
+	MOVQ x0_base+24(FP), SI
+	MOVQ x1_base+48(FP), BX
+	MOVQ x2_base+72(FP), R8
+	MOVQ x3_base+96(FP), R9
+	VBROADCASTSD a0+120(FP), Y2
+	VBROADCASTSD a1+128(FP), Y3
+	VBROADCASTSD a2+136(FP), Y4
+	VBROADCASTSD a3+144(FP), Y5
+	XORQ AX, AX
+
+axpy4loop:
+	CMPQ AX, CX
+	JGE  axpy4done
+	VMULPD  (SI)(AX*8), Y2, Y0
+	VADDPD  (DI)(AX*8), Y0, Y0
+	VMULPD  (BX)(AX*8), Y3, Y1
+	VADDPD  Y1, Y0, Y0
+	VMULPD  (R8)(AX*8), Y4, Y1
+	VADDPD  Y1, Y0, Y0
+	VMULPD  (R9)(AX*8), Y5, Y1
+	VADDPD  Y1, Y0, Y0
+	VMOVUPD Y0, (DI)(AX*8)
+	ADDQ    $4, AX
+	JMP     axpy4loop
+
+axpy4done:
+	VZEROUPPER
+	RET
+
+// func recipSqrtBody(dst, r2 []float64)
+// dst = 1/sqrt(r2), masked to 0 where r2 == 0. VSQRTPD and VDIVPD are
+// correctly rounded (IEEE-754), hence bitwise-equal to math.Sqrt + divide.
+TEXT ·recipSqrtBody(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ r2_base+24(FP), SI
+	VBROADCASTSD onef64<>(SB), Y3
+	VXORPD Y4, Y4, Y4
+	XORQ AX, AX
+
+rsloop:
+	CMPQ AX, CX
+	JGE  rsdone
+	VMOVUPD (SI)(AX*8), Y0
+	VSQRTPD Y0, Y1
+	VDIVPD  Y1, Y3, Y2        // 1.0 / sqrt(r2)
+	VCMPPD  $4, Y4, Y0, Y5    // NEQ_UQ: lanes with r2 != 0
+	VANDPD  Y5, Y2, Y2
+	VMOVUPD Y2, (DI)(AX*8)
+	ADDQ    $4, AX
+	JMP     rsloop
+
+rsdone:
+	VZEROUPPER
+	RET
+
+// func recipCubeBody(dst, r2 []float64)
+// dst = 1/(r*r*r) with r = sqrt(r2), masked to 0 where r2 == 0; the r*r then
+// *r product order matches the scalar CoulombCubed evaluation.
+TEXT ·recipCubeBody(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ r2_base+24(FP), SI
+	VBROADCASTSD onef64<>(SB), Y3
+	VXORPD Y4, Y4, Y4
+	XORQ AX, AX
+
+rcloop:
+	CMPQ AX, CX
+	JGE  rcdone
+	VMOVUPD (SI)(AX*8), Y0
+	VSQRTPD Y0, Y1
+	VMULPD  Y1, Y1, Y2        // r*r
+	VMULPD  Y1, Y2, Y2        // (r*r)*r
+	VDIVPD  Y2, Y3, Y5        // 1.0 / r^3
+	VCMPPD  $4, Y4, Y0, Y6    // NEQ_UQ: lanes with r2 != 0
+	VANDPD  Y6, Y5, Y5
+	VMOVUPD Y5, (DI)(AX*8)
+	ADDQ    $4, AX
+	JMP     rcloop
+
+rcdone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,160 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// simdVec returns a deterministic random vector for the AVX-vs-scalar
+// comparisons.
+func simdVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// TestSIMDBitwiseScalar pins the central SIMD claim: with AVX on, every
+// dispatched primitive returns results bitwise-identical to the scalar path,
+// across lengths that cover below-threshold, 4-aligned, and ragged tails.
+func TestSIMDBitwiseScalar(t *testing.T) {
+	if !SIMDAvailable() {
+		t.Skip("no AVX on this machine")
+	}
+	lengths := []int{1, 3, 4, 7, 8, 11, 12, 15, 16, 31, 64, 100, 257}
+	for _, n := range lengths {
+		row := simdVec(n, int64(1000+n))
+		x := simdVec(n, int64(2000+n))
+		x1 := simdVec(n, int64(3000+n))
+		x2 := simdVec(n, int64(4000+n))
+		x3 := simdVec(n, int64(5000+n))
+		y0 := simdVec(n, int64(6000+n))
+
+		SetSIMD(true)
+		dotV := dot(row, x)
+		d2a, d2b := dot2(row, x1, x)
+		ya := append([]float64(nil), y0...)
+		axpy(ya, 1.7, x)
+		y2a := append([]float64(nil), y0...)
+		axpy2(y2a, 1.7, x, -0.3, x1)
+		y4a := append([]float64(nil), y0...)
+		axpy4(y4a, 1.7, x, -0.3, x1, 0.9, x2, 2.2, x3)
+
+		SetSIMD(false)
+		dotS := dot(row, x)
+		s2a, s2b := dot2(row, x1, x)
+		ys := append([]float64(nil), y0...)
+		axpy(ys, 1.7, x)
+		y2s := append([]float64(nil), y0...)
+		axpy2(y2s, 1.7, x, -0.3, x1)
+		y4s := append([]float64(nil), y0...)
+		axpy4(y4s, 1.7, x, -0.3, x1, 0.9, x2, 2.2, x3)
+		SetSIMD(true)
+
+		if dotV != dotS {
+			t.Fatalf("n=%d: dot AVX %v != scalar %v", n, dotV, dotS)
+		}
+		if d2a != s2a || d2b != s2b {
+			t.Fatalf("n=%d: dot2 AVX (%v,%v) != scalar (%v,%v)", n, d2a, d2b, s2a, s2b)
+		}
+		for i := range ya {
+			if ya[i] != ys[i] {
+				t.Fatalf("n=%d: axpy differs at %d", n, i)
+			}
+			if y2a[i] != y2s[i] {
+				t.Fatalf("n=%d: axpy2 differs at %d", n, i)
+			}
+			if y4a[i] != y4s[i] {
+				t.Fatalf("n=%d: axpy4 differs at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestSIMDChunkHelpersBitwise covers the exported fused-kernel helpers:
+// DotAcc4 lane accumulation and the reciprocal chunk evaluations, including
+// the zero-distance masking.
+func TestSIMDChunkHelpersBitwise(t *testing.T) {
+	if !SIMDAvailable() {
+		t.Skip("no AVX on this machine")
+	}
+	for _, n := range []int{4, 8, 12, 16, 20, 64} {
+		k := simdVec(n, int64(7000+n))
+		v := simdVec(n, int64(8000+n))
+		accA := [4]float64{0.1, -0.2, 0.3, -0.4}
+		accS := accA
+		SetSIMD(true)
+		DotAcc4(k, v, &accA)
+		SetSIMD(false)
+		DotAcc4(k, v, &accS)
+		SetSIMD(true)
+		if accA != accS {
+			t.Fatalf("n=%d: DotAcc4 AVX %v != scalar %v", n, accA, accS)
+		}
+	}
+	for _, n := range []int{1, 4, 6, 8, 13, 64, 100} {
+		r2 := make([]float64, n)
+		rng := rand.New(rand.NewSource(int64(9000 + n)))
+		for i := range r2 {
+			r2[i] = rng.Float64() * 3
+		}
+		if n > 2 {
+			r2[n/2] = 0 // exercise the zero-distance mask
+		}
+		dstA := make([]float64, n)
+		dstS := make([]float64, n)
+		cubeA := make([]float64, n)
+		cubeS := make([]float64, n)
+		SetSIMD(true)
+		RecipSqrtChunk(dstA, r2)
+		RecipCubeChunk(cubeA, r2)
+		SetSIMD(false)
+		RecipSqrtChunk(dstS, r2)
+		RecipCubeChunk(cubeS, r2)
+		SetSIMD(true)
+		for i := range r2 {
+			if dstA[i] != dstS[i] {
+				t.Fatalf("n=%d: RecipSqrtChunk differs at %d: %v vs %v", n, i, dstA[i], dstS[i])
+			}
+			if cubeA[i] != cubeS[i] {
+				t.Fatalf("n=%d: RecipCubeChunk differs at %d: %v vs %v", n, i, cubeA[i], cubeS[i])
+			}
+			want := 0.0
+			if r := math.Sqrt(r2[i]); r != 0 {
+				want = 1 / r
+			}
+			if dstS[i] != want {
+				t.Fatalf("n=%d: scalar RecipSqrtChunk wrong at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestFMAVariantsClose checks the FastMath forms agree with the default path
+// to rounding accuracy (they contract each multiply-add to one rounding, so
+// exact equality is not expected, closeness is).
+func TestFMAVariantsClose(t *testing.T) {
+	n := 64
+	k := simdVec(n, 1)
+	v := simdVec(n, 2)
+	var acc, accF [4]float64
+	DotAcc4(k, v, &acc)
+	DotAcc4FMA(k, v, &accF)
+	for l := 0; l < 4; l++ {
+		if math.Abs(acc[l]-accF[l]) > 1e-12*(1+math.Abs(acc[l])) {
+			t.Fatalf("DotAcc4FMA lane %d diverged: %v vs %v", l, acc[l], accF[l])
+		}
+	}
+	y := simdVec(n, 3)
+	yF := append([]float64(nil), y...)
+	AxpyChunk(y, 1.3, k)
+	AxpyChunkFMA(yF, 1.3, k)
+	for i := range y {
+		if math.Abs(y[i]-yF[i]) > 1e-12*(1+math.Abs(y[i])) {
+			t.Fatalf("AxpyChunkFMA diverged at %d", i)
+		}
+	}
+}

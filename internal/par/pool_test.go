@@ -183,3 +183,31 @@ func BenchmarkPhaseDispatch(b *testing.B) {
 
 func forkJoinName(w int) string { return "forkjoin/w" + string(rune('0'+w)) }
 func poolName(w int) string     { return "pool/w" + string(rune('0'+w)) }
+
+// TestPoolRunDistinctSlots pins Run's contract: fn is invoked exactly once
+// per slot in [0, Workers()), with distinct ids — the property cooperative
+// drains rely on to index per-worker scratch safely.
+func TestPoolRunDistinctSlots(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7} {
+		p := NewPool(workers)
+		hits := make([]atomic.Int32, p.Workers())
+		for rep := 0; rep < 50; rep++ {
+			for i := range hits {
+				hits[i].Store(0)
+			}
+			p.Run(func(slot int) {
+				if slot < 0 || slot >= p.Workers() {
+					t.Errorf("w=%d: slot %d out of range", workers, slot)
+					return
+				}
+				hits[slot].Add(1)
+			})
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					t.Fatalf("w=%d rep=%d: slot %d invoked %d times, want 1", workers, rep, i, hits[i].Load())
+				}
+			}
+		}
+		p.Close()
+	}
+}

@@ -225,7 +225,14 @@ func DefaultBuild(ctx context.Context, sp BuildSpec, setStage func(string)) (*co
 func BuildWithCache(ctx context.Context, sp BuildSpec, setStage func(string), cache *core.BuildCache) (*core.Matrix, error) {
 	if sp.Path != "" {
 		setStage("load")
-		return loadMatrix(sp.Path)
+		m, err := loadMatrix(sp.Path)
+		if err == nil && sp.Workers > 0 {
+			// The stream never carries a worker count (it is a host
+			// preference, not matrix state), so an explicit spec value
+			// applies to the loaded instance the same as to a built one.
+			m.Cfg.Workers = sp.Workers
+		}
+		return m, err
 	}
 	if sp.Source == "dense" {
 		setStage("load-data")
